@@ -1,0 +1,21 @@
+"""Benchmark: regenerate the Section IV-E case studies (i)-(iii)."""
+
+import pytest
+
+from repro.bench.experiments import run_case_studies
+
+from conftest import print_result
+
+
+@pytest.mark.benchmark(group="cases")
+def test_case_studies(benchmark, quick):
+    result = benchmark.pedantic(lambda: run_case_studies(quick=quick), rounds=1, iterations=1)
+    print_result(result, "Section IV-E case studies (credit risk / malware / Kaggle)")
+
+    assert len(result.rows) == 3
+    # every application-level scenario benefits from the GPU
+    for r in result.rows:
+        assert r["speedup"] > 1.2, r["case"]
+    # the Kaggle search covers the paper's grid when not in quick mode
+    if not quick:
+        assert "144 configs" in result.rows[2]["workload"]

@@ -1,0 +1,43 @@
+"""Benchmarks for the extension experiments: exact-vs-approximate training
+and the small-n crossover study (DESIGN.md's ablation-bench items)."""
+
+import pytest
+
+from repro.bench.experiments import run_crossover, run_exact_vs_approx
+
+from conftest import print_result
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_exact_vs_approx(benchmark, quick):
+    result = benchmark.pedantic(lambda: run_exact_vs_approx(quick=quick), rounds=1, iterations=1)
+    print_result(result, "Extension -- exact vs. histogram (approximate) training")
+
+    for r in result.rows:
+        # histograms are cheaper per level on every dataset
+        assert r["speedup"] > 1.0, r["dataset"]
+        # and accuracy stays in the same neighbourhood
+        assert r["hist_rmse"] < r["exact_rmse"] * 1.25, r["dataset"]
+    # on the quantized dataset the candidate sets coincide, so the learned
+    # partitions match; held-out RMSE may differ microscopically because
+    # thresholds sit at bin edges (unseen values between bins can route
+    # differently), so assert near-equality here -- exact training-set
+    # equality is asserted in tests/test_approx.py
+    cov = next(r for r in result.rows if r["dataset"] == "covtype")
+    assert abs(cov["exact_rmse"] - cov["hist_rmse"]) < 5e-3
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_crossover(benchmark, quick):
+    result = benchmark.pedantic(lambda: run_crossover(quick=quick), rounds=1, iterations=1)
+    print_result(result, "Extension -- training time vs. dataset cardinality")
+
+    gpu = result.series["GPU-GBDT (s)"]
+    cpu1 = result.series["xgbst-1 (s)"]
+    # at scale the GPU wins clearly over sequential XGBoost...
+    assert cpu1[-1] / gpu[-1] > 8.0
+    # ...while at the smallest size fixed overheads eat most of the gap
+    assert cpu1[0] / gpu[0] < cpu1[-1] / gpu[-1]
+    # all series grow monotonically with cardinality
+    for name, series in result.series.items():
+        assert all(a <= b * 1.001 for a, b in zip(series, series[1:])), name

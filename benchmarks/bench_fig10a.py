@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 10a (performance-price ratio vs. the CPUs)."""
+
+import pytest
+
+from repro.bench.experiments import run_fig10a
+from repro.bench.report import PAPER_BANDS
+
+from conftest import print_result
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10a(benchmark, quick):
+    result = benchmark.pedantic(lambda: run_fig10a(quick=quick), rounds=1, iterations=1)
+    print_result(result, "Fig. 10a -- performance-price ratio (paper Section IV-D)")
+
+    lo, hi = PAPER_BANDS["perf_price_vs_cpu"]
+    ratios = result.series["perf-price vs CPU"]
+    assert len(ratios) == 8  # every dataset GPU-GBDT can train (all of them)
+    # "consistently outperforms its CPU counterpart by 1.5 to 3 times"
+    for name, r in zip(result.xs, ratios):
+        assert lo <= r < hi + 0.8, (name, r)

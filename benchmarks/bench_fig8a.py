@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig. 8a (speedup over xgbst-40 vs. tree depth)."""
+
+import pytest
+
+from repro.bench.experiments import run_fig8a
+
+from conftest import print_result
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8a(benchmark, quick):
+    result = benchmark.pedantic(lambda: run_fig8a(quick=quick), rounds=1, iterations=1)
+    print_result(result, "Fig. 8a -- speedup vs. tree depth (paper Section IV-B)")
+
+    for name, series in result.series.items():
+        # GPU-GBDT consistently beats xgbst-40 at every depth
+        assert all(s > 1.0 for s in series), name
+        # the paper: best at depth 2, then relatively stable
+        assert series[0] >= max(series[1:]) * 0.9, name
+        tail = series[2:]
+        if len(tail) >= 2:
+            assert max(tail) / min(tail) < 1.6, name

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 8b (speedup over xgbst-40 vs. number of trees)."""
+
+import pytest
+
+from repro.bench.experiments import run_fig8b
+
+from conftest import print_result
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8b(benchmark, quick):
+    result = benchmark.pedantic(lambda: run_fig8b(quick=quick), rounds=1, iterations=1)
+    print_result(result, "Fig. 8b -- speedup vs. number of trees (paper Section IV-B)")
+
+    for name, series in result.series.items():
+        assert all(s > 1.0 for s in series), name
+        # "the speedup ... is rather stable as the number of trees
+        # increases" -- trees are sequentially dependent, so more trees do
+        # not bring better parallelism
+        assert max(series) / min(series) < 1.4, name

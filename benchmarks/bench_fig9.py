@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 9 (impact of each individual optimization)."""
+
+import pytest
+
+from repro.bench.experiments import run_fig9
+
+from conftest import print_result
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9(benchmark, quick):
+    result = benchmark.pedantic(lambda: run_fig9(quick=quick), rounds=1, iterations=1)
+    print_result(result, "Fig. 9 -- ablation of the five optimizations (paper Section IV-C)")
+
+    slow = result.slowdowns
+    # "Two techniques (including SmartGD and Directly Split RLE) have quite
+    # significant impact": somewhere they must cost > 10%
+    assert max(slow["SmartGD"].values()) > 0.10
+    assert max(slow["Directly Split RLE"].values()) > 0.10
+    # "Customized SetKey ... 10% to 20% for ... datasets of high
+    # dimensionality (e.g., log1p and news20)"
+    if not quick and "news20" in slow["Customized SetKey"]:
+        assert 0.05 < slow["Customized SetKey"]["news20"] < 0.30
+    # disabling an optimization never makes training meaningfully faster
+    for ab, per_ds in slow.items():
+        for ds_name, s in per_ds.items():
+            assert s > -0.05, (ab, ds_name, s)

@@ -1,0 +1,44 @@
+"""Benchmark: the multi-GPU extension (paper Section VI future work).
+
+Not a paper figure -- DESIGN.md lists it as the implemented extension.
+Reports modeled training time on 1/2/4 simulated Titan Xs for a susy-like
+workload and asserts sane scaling (sublinear, monotone).
+"""
+
+import pytest
+
+from repro import GBDTParams
+from repro.bench.report import format_series
+from repro.data import make_dataset
+from repro.ext.multigpu import MultiGpuGBDTTrainer
+
+
+@pytest.mark.benchmark(group="multigpu")
+def test_multigpu_scaling(benchmark, quick):
+    ds = make_dataset("susy", run_rows=300 if quick else 1500)
+    p = GBDTParams(n_trees=4 if quick else 10, max_depth=5)
+
+    def run():
+        times = {}
+        for k in (1, 2, 4):
+            trainer = MultiGpuGBDTTrainer(
+                p, n_devices=k,
+                work_scale=ds.work_scale, seg_scale=ds.seg_scale, row_scale=ds.row_scale,
+            )
+            trainer.fit(ds.X, ds.y)
+            times[k] = trainer.elapsed_seconds()
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedups = [times[1] / times[k] for k in (1, 2, 4)]
+    print("\n" + format_series(
+        "devices", [1, 2, 4],
+        {"seconds": [times[k] for k in (1, 2, 4)], "speedup": speedups},
+        title="Multi-GPU scaling (Section VI extension)",
+    ))
+
+    assert times[2] < times[1]
+    assert times[4] < times[2]
+    # attribute-parallelism is communication-bound: sublinear scaling
+    assert speedups[2] < 4.0
+    assert speedups[1] > 1.2

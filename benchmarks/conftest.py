@@ -1,0 +1,37 @@
+"""Shared configuration for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_*`` file regenerates one table or figure of the paper.  The
+experiment functions are deterministic (the trainer is exact and the clock
+is a cost model), so the interesting output is the printed table itself --
+wall time measures how long the reproduction harness takes, which the
+pytest-benchmark columns report.
+
+``--quick-bench`` shrinks datasets for CI-speed smoke runs.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick-bench",
+        action="store_true",
+        default=False,
+        help="run the benchmark experiments at smoke scale",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    return request.config.getoption("--quick-bench")
+
+
+def print_result(result, header: str) -> None:
+    """Echo an experiment's table under a visible banner."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{header}\n{bar}")
+    print(result.text)

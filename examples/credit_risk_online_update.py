@@ -1,0 +1,69 @@
+"""Case study (i): frequent model updates for credit-risk prediction.
+
+The paper (Section IV-E i) motivates GPU-GBDT with online learning: a card
+processor retrains on a rolling window as transactions stream in, and the
+work [18] it cites needs ~27 CPU-minutes per refresh at 211,357 x 8,990 --
+too slow to react to fraud.
+
+This example simulates the rolling-window loop: every "hour" a batch of new
+transactions arrives, the window slides, and the model is refreshed.  Each
+refresh is timed with both the simulated Titan X and the 40-thread CPU
+model, so the output shows how many refreshes per hour each platform
+sustains.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro import GBDTParams, make_dataset, rmse
+from repro.bench.harness import run_cpu_baseline, run_gpu_gbdt
+from repro.data.matrix import CSRMatrix
+
+
+def sliding_window(X: CSRMatrix, y, start: int, size: int):
+    idx = np.arange(start, start + size) % X.n_rows
+    idx = np.sort(idx)
+    return X.select_rows(idx), y[idx]
+
+
+def main() -> None:
+    # a credit-card-shaped dataset: sparse engineered features
+    base = make_dataset("real-sim", run_rows=1600, seed=8)
+    ds = dataclasses.replace(
+        base,
+        spec=dataclasses.replace(
+            base.spec, name="credit-risk", n_full=211_357, d_full=8_990, density_full=0.05
+        ),
+    )
+    params = GBDTParams(n_trees=10, max_depth=6)
+
+    window = ds.X.n_rows // 2
+    print("rolling-window refresh loop (3 refreshes):")
+    print(f"  window = {window} rows (stands in for ~105k full-scale rows)\n")
+
+    gpu_total = cpu_total = 0.0
+    for step in range(3):
+        Xw, yw = sliding_window(ds.X, ds.y, step * window // 2, window)
+        wds = dataclasses.replace(ds, X=Xw, y=yw)
+        gpu = run_gpu_gbdt(wds, params)
+        _, forty, _ = run_cpu_baseline(wds, params)
+        gpu_total += gpu.seconds
+        cpu_total += forty.seconds
+        err = rmse(ds.y_test, gpu.model.predict(ds.X_test))
+        print(
+            f"  refresh {step}: GPU {gpu.seconds:6.2f}s | xgbst-40 {forty.seconds:6.2f}s "
+            f"| holdout RMSE {err:.4f}"
+        )
+
+    print(
+        f"\nper refresh: GPU {gpu_total / 3:.2f}s vs CPU {cpu_total / 3:.2f}s "
+        f"({cpu_total / gpu_total:.2f}x) -> "
+        f"{3600 / (gpu_total / 3):,.0f} vs {3600 / (cpu_total / 3):,.0f} refreshes/hour"
+    )
+    print("paper's framing: GPU-GBDT 'can respond new credit risk and prevent "
+          "invalid transactions more timely'")
+
+
+if __name__ == "__main__":
+    main()

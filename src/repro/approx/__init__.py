@@ -1,0 +1,8 @@
+"""Approximate (histogram/quantile) training -- the paper's Section-V rival
+family (XGBoost's quantile proposals, LightGBM), implemented on the same
+simulated substrate for exact-vs-approximate comparisons."""
+
+from .histogram_trainer import HistogramGBDTTrainer
+from .quantile import BinSpec, bin_column_values, build_bins
+
+__all__ = ["HistogramGBDTTrainer", "BinSpec", "bin_column_values", "build_bins"]

@@ -1,0 +1,36 @@
+"""Performance-price accounting (Section IV-D, Fig. 10a).
+
+The paper defines the performance-price ratio as ``1 / (time x price)`` and
+normalizes GPU-GBDT's ratio by the CPU's (xgbst-40 on the two Xeons), using
+the 2017 street prices it quotes: $1,200 for the Titan X and $1,878 for the
+CPU pair.
+"""
+
+from __future__ import annotations
+
+from ..gpusim.device import TITAN_X_PASCAL, XEON_E5_2640V4_X2, CpuSpec, DeviceSpec
+
+__all__ = ["performance_price_ratio", "normalized_ratio"]
+
+
+def performance_price_ratio(seconds: float, price_usd: float) -> float:
+    """``1 / (time x price)`` -- bigger is better."""
+    if seconds <= 0 or price_usd <= 0:
+        raise ValueError("time and price must be positive")
+    return 1.0 / (seconds * price_usd)
+
+
+def normalized_ratio(
+    gpu_seconds: float,
+    cpu_seconds: float,
+    gpu: DeviceSpec = TITAN_X_PASCAL,
+    cpu: CpuSpec = XEON_E5_2640V4_X2,
+) -> float:
+    """GPU performance-price ratio divided by the CPU's (Fig. 10a bars).
+
+    A value of 2 means each dollar spent on the GPU buys twice the training
+    throughput of a dollar spent on the CPUs.
+    """
+    g = performance_price_ratio(gpu_seconds, gpu.price_usd)
+    c = performance_price_ratio(cpu_seconds, cpu.price_usd)
+    return g / c

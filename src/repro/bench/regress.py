@@ -1,0 +1,138 @@
+"""Result persistence and regression tracking for the experiment harness.
+
+The optimization guide's last advice -- track performance over time --
+applied to the reproduction: every experiment result can be serialized to a
+JSON payload, saved alongside metadata (date, package version, cost-model
+constants), and compared against a previous run.  A drift in any modeled
+number beyond tolerance flags either an intentional recalibration or an
+accidental cost-model regression.
+
+Used via the CLI::
+
+    python -m repro table2 fig9 --save results/today.json
+    python -m repro table2 fig9 --compare results/yesterday.json
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+__all__ = ["to_payload", "save_results", "load_results", "compare_results", "Drift"]
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _clean(value: Any) -> Any:
+    """Keep only JSON-friendly scalars/containers; drop everything else."""
+    import numpy as np
+
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_clean(v) for v in value.tolist()]
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, dict):
+        out = {}
+        for k, v in value.items():
+            cv = _clean(v)
+            if cv is not _DROP:
+                out[str(k)] = cv
+        return out
+    if isinstance(value, (list, tuple)):
+        cleaned = [_clean(v) for v in value]
+        return [v for v in cleaned if v is not _DROP]
+    return _DROP
+
+
+class _Sentinel:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<drop>"
+
+
+_DROP = _Sentinel()
+
+
+def to_payload(result: Any) -> Dict[str, Any]:
+    """Serialize any experiment result object to a JSON-safe dict.
+
+    Works on the harness's dataclass results (rows/series/etc.); arbitrary
+    attributes that are not JSON-representable (models, devices) are
+    silently dropped.
+    """
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        raw = {
+            f.name: getattr(result, f.name) for f in dataclasses.fields(result)
+        }
+    elif isinstance(result, dict):
+        raw = result
+    else:
+        raise TypeError(f"cannot serialize {type(result).__name__}")
+    cleaned = _clean(raw)
+    return cleaned if cleaned is not _DROP else {}
+
+
+def save_results(path, payloads: Dict[str, Any], meta: Dict[str, Any] | None = None) -> None:
+    """Write ``{meta, experiments}`` JSON to ``path``."""
+    from .. import __version__
+
+    doc = {
+        "meta": {"version": __version__, **(meta or {})},
+        "experiments": {k: to_payload(v) for k, v in payloads.items()},
+    }
+    Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True), encoding="utf-8")
+
+
+def load_results(path) -> Dict[str, Any]:
+    """Read a document written by :func:`save_results`."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if "experiments" not in doc:
+        raise ValueError(f"{path} is not a results document")
+    return doc
+
+
+@dataclasses.dataclass(frozen=True)
+class Drift:
+    """One numeric leaf whose value moved beyond tolerance."""
+
+    path: str
+    old: float
+    new: float
+
+    @property
+    def rel(self) -> float:
+        denom = max(abs(self.old), abs(self.new), 1e-12)
+        return abs(self.new - self.old) / denom
+
+    def __str__(self) -> str:
+        return f"{self.path}: {self.old:.6g} -> {self.new:.6g} ({self.rel:+.1%})"
+
+
+def _walk(prefix: str, old: Any, new: Any, rtol: float, out: List[Drift]) -> None:
+    if isinstance(old, dict) and isinstance(new, dict):
+        for k in sorted(set(old) & set(new)):
+            _walk(f"{prefix}.{k}" if prefix else str(k), old[k], new[k], rtol, out)
+        return
+    if isinstance(old, list) and isinstance(new, list):
+        for i, (a, b) in enumerate(zip(old, new)):
+            _walk(f"{prefix}[{i}]", a, b, rtol, out)
+        return
+    if isinstance(old, bool) or isinstance(new, bool):
+        return
+    if isinstance(old, (int, float)) and isinstance(new, (int, float)):
+        denom = max(abs(old), abs(new), 1e-12)
+        if abs(new - old) / denom > rtol:
+            out.append(Drift(path=prefix, old=float(old), new=float(new)))
+
+
+def compare_results(old_doc: Dict, new_doc: Dict, rtol: float = 0.05) -> List[Drift]:
+    """Numeric leaves present in both documents that moved more than ``rtol``
+    relative -- the regression report."""
+    drifts: List[Drift] = []
+    _walk("", old_doc.get("experiments", {}), new_doc.get("experiments", {}), rtol, drifts)
+    return drifts

@@ -1,0 +1,129 @@
+"""Command-line driver: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro table2            # Table II
+    python -m repro fig8a fig8b       # sensitivity studies
+    python -m repro fig9              # ablation of the five optimizations
+    python -m repro fig10a fig10b     # economics + budgeted accuracy
+    python -m repro cases             # Section IV-E case studies
+    python -m repro all               # everything
+    python -m repro table2 --quick    # tiny smoke-scale run
+
+``gpu-gbdt`` (the installed console script) is an alias for ``python -m
+repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from .bench import experiments
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS: Dict[str, Callable[[bool], object]] = {
+    "table2": lambda quick: experiments.run_table2(quick),
+    "fig8a": lambda quick: experiments.run_fig8a(quick),
+    "fig8b": lambda quick: experiments.run_fig8b(quick),
+    "fig9": lambda quick: experiments.run_fig9(quick),
+    "fig10a": lambda quick: experiments.run_fig10a(quick),
+    "fig10b": lambda quick: experiments.run_fig10b(quick),
+    "cases": lambda quick: experiments.run_case_studies(quick),
+    "devices": lambda quick: experiments.run_device_sweep(quick),
+    "approx": lambda quick: experiments.run_exact_vs_approx(quick),
+    "crossover": lambda quick: experiments.run_crossover(quick),
+    "multigpu": lambda quick: experiments.run_multigpu_scaling(quick),
+    "threads": lambda quick: experiments.run_thread_sweep(quick),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="gpu-gbdt",
+        description="Regenerate the tables and figures of 'Efficient Gradient "
+        "Boosted Decision Tree Training on GPUs' (IPDPS 2018) on the simulated substrate.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which artifacts to regenerate",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smoke-scale datasets and tree counts"
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also append the regenerated tables to this file",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="JSON",
+        default=None,
+        help="save the numeric results as a JSON document (regression tracking)",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="JSON",
+        default=None,
+        help="compare the numeric results against a previously saved document",
+    )
+    parser.add_argument(
+        "--rtol",
+        type=float,
+        default=0.05,
+        help="relative drift tolerance for --compare (default 0.05)",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    seen = []
+    chunks = []
+    results = {}
+    for name in names:
+        if name in seen:
+            continue
+        seen.append(name)
+        t0 = time.time()
+        result = EXPERIMENTS[name](args.quick)
+        dt = time.time() - t0
+        print()
+        print(result.text)
+        print(f"[{name} regenerated in {dt:.1f}s wall]")
+        chunks.append(result.text)
+        results[name] = result
+    if args.out:
+        from pathlib import Path
+
+        with Path(args.out).open("a", encoding="utf-8") as fh:
+            fh.write("\n\n".join(chunks) + "\n")
+        print(f"[appended {len(chunks)} experiment(s) to {args.out}]")
+    if args.save:
+        from .bench.regress import save_results
+
+        save_results(args.save, results, meta={"quick": args.quick})
+        print(f"[saved numeric results to {args.save}]")
+    if args.compare:
+        from .bench.regress import compare_results, load_results, to_payload
+
+        old_doc = load_results(args.compare)
+        new_doc = {"experiments": {k: to_payload(v) for k, v in results.items()}}
+        drifts = compare_results(old_doc, new_doc, rtol=args.rtol)
+        if drifts:
+            print(f"[{len(drifts)} drift(s) vs {args.compare}]")
+            for d in drifts:
+                print(f"  {d}")
+            return 1
+        print(f"[no drift beyond rtol={args.rtol} vs {args.compare}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess test
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""The trained ensemble: a list of trees plus prediction helpers."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import List
+
+import numpy as np
+
+from ..data.matrix import CSRMatrix, DenseMatrix
+from .params import GBDTParams
+from .tree import DecisionTree, trees_equal
+
+__all__ = ["GBDTModel", "models_equal"]
+
+
+@dataclasses.dataclass
+class GBDTModel:
+    """An ensemble of regression trees (leaf values include the learning
+    rate, so prediction is a plain sum over trees plus the base score)."""
+
+    trees: List[DecisionTree]
+    params: GBDTParams
+    base_score: float = 0.0
+
+    @property
+    def n_trees(self) -> int:
+        return len(self.trees)
+
+    def predict(
+        self,
+        X: CSRMatrix | DenseMatrix | np.ndarray,
+        *,
+        n_trees: int | None = None,
+        transform: bool = False,
+    ) -> np.ndarray:
+        """Predict with the first ``n_trees`` trees (all by default).
+
+        ``transform=True`` maps margins through the loss's output transform
+        (sigmoid for logistic; identity for MSE).
+        """
+        use = self.trees if n_trees is None else self.trees[: max(0, n_trees)]
+        if isinstance(X, CSRMatrix):
+            dense = X.to_dense(fill=np.nan).values
+        elif isinstance(X, DenseMatrix):
+            dense = X.values
+        else:
+            dense = np.asarray(X, dtype=np.float64)
+        out = np.full(dense.shape[0], self.base_score, dtype=np.float64)
+        for tree in use:
+            out += tree.predict(dense)
+        if transform:
+            out = self.params.loss_fn.transform(out)
+        return out
+
+    def staged_predict(self, X) -> "np.ndarray":
+        """``(n_trees, n_rows)`` matrix of cumulative predictions -- one row
+        per boosting round (Fig. 10b's error-vs-budget curves)."""
+        if isinstance(X, CSRMatrix):
+            dense = X.to_dense(fill=np.nan).values
+        elif isinstance(X, DenseMatrix):
+            dense = X.values
+        else:
+            dense = np.asarray(X, dtype=np.float64)
+        out = np.empty((self.n_trees, dense.shape[0]), dtype=np.float64)
+        acc = np.full(dense.shape[0], self.base_score, dtype=np.float64)
+        for t, tree in enumerate(self.trees):
+            acc = acc + tree.predict(dense)
+            out[t] = acc
+        return out
+
+    # ------------------------------------------------------------ persistence
+    def to_json(self) -> str:
+        """Serialize the trees (params are not round-tripped -- they belong
+        to training, not inference)."""
+        return json.dumps(
+            {
+                "base_score": self.base_score,
+                "learning_rate": self.params.learning_rate,
+                "trees": [t.to_dict() for t in self.trees],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str, params: GBDTParams | None = None) -> "GBDTModel":
+        d = json.loads(text)
+        return cls(
+            trees=[DecisionTree.from_dict(td) for td in d["trees"]],
+            params=params if params is not None else GBDTParams(),
+            base_score=float(d["base_score"]),
+        )
+
+    def save(self, path) -> None:
+        """Write the model to a JSON file."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path, params: GBDTParams | None = None) -> "GBDTModel":
+        """Read a model written by :meth:`save`."""
+        from pathlib import Path
+
+        return cls.from_json(Path(path).read_text(encoding="utf-8"), params=params)
+
+    def eval_history(self, X, y, metric=None) -> np.ndarray:
+        """Per-boosting-round metric on ``(X, y)`` (default: RMSE).
+
+        The budgeted-training analyses (Fig. 10b, the case studies) read
+        accuracy-vs-rounds off this curve.
+        """
+        from ..metrics import rmse as default_metric
+
+        metric = metric if metric is not None else default_metric
+        staged = self.staged_predict(X)
+        return np.array([metric(y, staged[t]) for t in range(self.n_trees)])
+
+
+def models_equal(a: GBDTModel, b: GBDTModel, **tol) -> bool:
+    """Tree-by-tree structural equality (the Table II 'identical trees'
+    check between GPU-GBDT and the CPU reference)."""
+    if a.n_trees != b.n_trees:
+        return False
+    return all(trees_equal(ta, tb, **tol) for ta, tb in zip(a.trees, b.trees))

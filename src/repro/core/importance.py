@@ -1,0 +1,68 @@
+"""Feature importance for trained ensembles.
+
+Not a paper artifact, but table stakes for a GBDT library a downstream user
+would adopt: per-attribute aggregates of the recorded split statistics.
+
+Three standard flavours:
+
+* ``"gain"``  -- total Eq. (2) gain contributed by splits on the attribute;
+* ``"cover"`` -- total number of training instances routed through those
+  splits;
+* ``"split"`` -- how many times the attribute was chosen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .booster_model import GBDTModel
+
+__all__ = ["feature_importance", "IMPORTANCE_KINDS"]
+
+IMPORTANCE_KINDS = ("gain", "cover", "split")
+
+
+def feature_importance(
+    model: GBDTModel, n_attrs: int | None = None, kind: str = "gain", normalize: bool = True
+) -> np.ndarray:
+    """Per-attribute importance of a trained model.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.core.booster_model.GBDTModel`.
+    n_attrs:
+        Length of the output vector; inferred from the largest split
+        attribute when omitted.
+    kind:
+        One of :data:`IMPORTANCE_KINDS`.
+    normalize:
+        Scale the vector to sum to 1 (when any importance is non-zero).
+    """
+    if kind not in IMPORTANCE_KINDS:
+        raise ValueError(f"kind must be one of {IMPORTANCE_KINDS}")
+    max_attr = -1
+    for t in model.trees:
+        for a in t.attr:
+            max_attr = max(max_attr, a)
+    if n_attrs is None:
+        n_attrs = max_attr + 1
+    elif max_attr >= n_attrs:
+        raise ValueError(f"model splits on attribute {max_attr} >= n_attrs={n_attrs}")
+    out = np.zeros(max(n_attrs, 0), dtype=np.float64)
+    for t in model.trees:
+        for nid in range(t.n_nodes):
+            a = t.attr[nid]
+            if a < 0:
+                continue
+            if kind == "gain":
+                out[a] += t.gain[nid]
+            elif kind == "cover":
+                out[a] += t.n_instances[nid]
+            else:
+                out[a] += 1.0
+    if normalize:
+        total = out.sum()
+        if total > 0:
+            out = out / total
+    return out

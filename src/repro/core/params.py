@@ -1,0 +1,109 @@
+"""Training hyper-parameters and optimization switches.
+
+Algorithm 1 of the paper is parameterized by the maximum depth ``d``, the
+number of trees ``T``, the valid-split threshold ``gamma`` and the
+regularization constant ``lambda`` of Eq. (2); the case study (Section IV-E)
+adds the learning rate ``eta``.  On top of those, :class:`GBDTParams`
+exposes one boolean per GPU-specific optimization so the Fig. 9 ablation can
+switch each off independently:
+
+====================  =====================================================
+``use_rle``           RLE compression of sorted attribute values (III-C)
+``use_direct_rle``    Directly-Split-RLE instead of decompress/recompress
+``use_smartgd``       gradients from intermediate results, no tree traversal
+``use_custom_setkey`` Customized SetKey segment-per-block formula (III-B)
+``use_custom_workload`` Customized IdxComp partition thread workload (III-B)
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..data.rle import RLE_POLICIES
+from ..losses import Loss, get_loss
+
+__all__ = ["GBDTParams"]
+
+
+@dataclasses.dataclass
+class GBDTParams:
+    """Hyper-parameters for every trainer in this package.
+
+    Defaults follow the paper's main experimental setting: depth 6, 40
+    trees, MSE loss, exact (non-approximate) split finding.
+    """
+
+    # -- Algorithm 1 inputs --------------------------------------------------
+    n_trees: int = 40
+    max_depth: int = 6
+    gamma: float = 0.0  # minimum gain for a valid split (strict >)
+    lambda_: float = 1.0  # L2 regularization of Eq. (2)
+    learning_rate: float = 0.3  # eta (case study, Section IV-E)
+    loss: str | Loss = "squared_error"
+    #: stochastic GBM (off by default -- the paper trains deterministically)
+    subsample: float = 1.0  # rows per tree
+    colsample_bytree: float = 1.0  # attributes per tree
+
+    # -- RLE compression (Section III-C) -------------------------------------
+    use_rle: bool = True
+    rle_policy: str = "measured"  # see repro.data.rle.RLE_POLICIES
+    rle_paper_threshold: float = 1e-3  # R in the paper's dim/cardinality rule
+    rle_measured_threshold: float = 4.0  # elements-per-run to justify RLE
+    use_direct_rle: bool = True  # Fig. 7 vs Fig. 6 node splitting
+
+    # -- GPU-specific optimizations (Section III-B) ---------------------------
+    use_smartgd: bool = True
+    use_custom_setkey: bool = True
+    setkey_c: int = 1000  # C in "1 + #segments / (#SM * C)"
+    use_custom_workload: bool = True
+    max_counter_mem_bytes: int = 2**30  # the paper's example budget (2^30)
+    fixed_thread_workload: int = 16  # the naive b = 16 workload
+
+    # -- misc -----------------------------------------------------------------
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if self.gamma < 0:
+            raise ValueError("gamma must be >= 0")
+        if self.lambda_ < 0:
+            raise ValueError("lambda_ must be >= 0")
+        if not (0 < self.learning_rate <= 1):
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not (0 < self.subsample <= 1):
+            raise ValueError("subsample must be in (0, 1]")
+        if not (0 < self.colsample_bytree <= 1):
+            raise ValueError("colsample_bytree must be in (0, 1]")
+        if self.rle_policy not in RLE_POLICIES:
+            raise ValueError(f"rle_policy must be one of {RLE_POLICIES}")
+        if self.setkey_c < 1:
+            raise ValueError("setkey_c must be >= 1")
+        if self.max_counter_mem_bytes < 1024:
+            raise ValueError("max_counter_mem_bytes unreasonably small")
+        if self.fixed_thread_workload < 1:
+            raise ValueError("fixed_thread_workload must be >= 1")
+        # resolve the loss eagerly so bad names fail at construction
+        self.loss_fn: Loss = get_loss(self.loss)
+
+    def replace(self, **kwargs) -> "GBDTParams":
+        """Return a copy with the given fields changed (ablation helper)."""
+        return dataclasses.replace(self, **kwargs)
+
+    def ablation_name(self) -> str:
+        """Short tag describing which optimizations are off (Fig. 9 labels)."""
+        off = []
+        if not self.use_custom_setkey:
+            off.append("no-SetKey")
+        if not self.use_custom_workload:
+            off.append("no-IdxCompWorkload")
+        if not self.use_rle:
+            off.append("no-RLE")
+        if not self.use_smartgd:
+            off.append("no-SmartGD")
+        if self.use_rle and not self.use_direct_rle:
+            off.append("no-DirectSplitRLE")
+        return "+".join(off) if off else "full"

@@ -1,0 +1,77 @@
+"""Per-tree stochastic sampling (row subsample / column subsample).
+
+Stochastic gradient boosting is standard GBDT-library surface (XGBoost's
+``subsample`` / ``colsample_bytree``); the paper trains deterministically,
+so sampling defaults to off and every reproduction experiment keeps it off.
+
+The draw is a pure function of ``(seed, tree_index, n, d)``, shared by the
+GPU trainer and the CPU reference, so the identical-trees property extends
+to stochastic runs (asserted by tests): both implementations see exactly
+the same rows and columns for every tree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["TreeSample", "sample_tree"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TreeSample:
+    """Rows/columns one boosting round trains on."""
+
+    inst_mask: np.ndarray  # (n,) bool; True = instance participates
+    attrs: np.ndarray  # (d_used,) global attribute ids, ascending
+
+    @property
+    def n_included(self) -> int:
+        return int(self.inst_mask.sum())
+
+    # total attribute count, stored so is_trivial needs no recomputation
+    _d: int = 0
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when nothing is actually sampled out."""
+        return bool(self.inst_mask.all()) and self.attrs.size == self._d
+
+
+def sample_tree(
+    seed: int,
+    tree_index: int,
+    n: int,
+    d: int,
+    subsample: float,
+    colsample_bytree: float,
+) -> TreeSample:
+    """Deterministic per-tree row/column draw.
+
+    At least 2 rows and 1 column are always kept so a tree can exist.
+    ``subsample == colsample_bytree == 1.0`` returns the all-true sample
+    without consuming randomness (bit-stable against the paper runs).
+    """
+    if not (0 < subsample <= 1) or not (0 < colsample_bytree <= 1):
+        raise ValueError("sampling rates must be in (0, 1]")
+    if subsample == 1.0 and colsample_bytree == 1.0:
+        return TreeSample(
+            inst_mask=np.ones(n, dtype=bool),
+            attrs=np.arange(d, dtype=np.int64),
+            _d=d,
+        )
+    rng = np.random.default_rng((int(seed) & 0x7FFFFFFF) * 1_000_003 + tree_index)
+    if subsample < 1.0:
+        k = max(2, int(round(n * subsample)))
+        rows = rng.choice(n, size=k, replace=False)
+        inst_mask = np.zeros(n, dtype=bool)
+        inst_mask[rows] = True
+    else:
+        inst_mask = np.ones(n, dtype=bool)
+    if colsample_bytree < 1.0:
+        kc = max(1, int(round(d * colsample_bytree)))
+        attrs = np.sort(rng.choice(d, size=kc, replace=False)).astype(np.int64)
+    else:
+        attrs = np.arange(d, dtype=np.int64)
+    return TreeSample(inst_mask=inst_mask, attrs=attrs, _d=d)

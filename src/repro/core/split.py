@@ -1,0 +1,492 @@
+"""Finding the best split point for every node at once (Section III-B).
+
+This is the paper's fine-grained multi-level parallelism: **one kernel
+sequence evaluates every candidate split of every attribute of every active
+node**.  The flat sorted arrays are segmented by (node, attribute); the
+steps map one-to-one onto the paper's:
+
+1. gather per-entry gradients ``g_i, h_i`` (the irregular access SmartGD
+   keeps cheap to *compute* but which still must be *read* here);
+2. segmented prefix sums give ``G_L/H_L`` at every candidate (Fig. 1);
+3. per-candidate gains via Eq. (2), with the missing-value mass tried on
+   both sides ("the instances with missing values ... either go to the left
+   or right node, depending on which way results in larger gain");
+4. duplicated split points are suppressed -- sparse path: candidates where
+   the value equals its predecessor are invalidated ("reset gain of repeated
+   split points"); RLE path: each run *is* one candidate, so the problem
+   vanishes (Section III-C);
+5. segmented reduction selects the best candidate per segment (grid chosen
+   by the Customized SetKey formula), then a per-node reduction picks the
+   best attribute [12].
+
+Candidate semantics (shared with the CPU reference so trees are identical):
+
+* Candidates of a segment are ordered: interior positions ascending, then
+  the present|missing boundary split.  Earlier candidates win ties
+  (strict ``>``); across attributes the lowest attribute wins ties.
+  (A "missing|present" boundary candidate would be the *same partition* as
+  present|missing with sides relabeled, so it is not enumerated.)
+* An interior candidate *before* element ``e`` sends elements ``< e`` left.
+* ``default_left = (gain with missing left) >= (gain with missing right)``.
+* Thresholds are midpoints of adjacent distinct values; the boundary
+  candidate uses ``nextafter(min_value, -inf)``.
+* Gains are **quantized to float32** before any comparison.  Different
+  implementations sum gradients in different orders (a segmented scan's
+  carry-cancellation vs. a per-node sequential scan), so algebraically-tied
+  candidates carry ~1e-16 relative noise; quantization collapses such ties
+  so the deterministic ordering above resolves them identically everywhere.
+  This is what makes the paper's "trees are identical" check reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..data.rle import RunLengthColumns
+from ..gpusim.kernel import GpuDevice
+from ..gpusim.primitives import (
+    check_offsets,
+    gather,
+    seg_ids,
+    segmented_argmax,
+    segmented_inclusive_cumsum,
+    segmented_sum,
+)
+from .setkey import plan_segment_grid
+
+__all__ = ["SegmentLayout", "NodeBestSplits", "eq2_gain", "find_best_splits_sparse", "find_best_splits_rle"]
+
+
+@dataclasses.dataclass
+class SegmentLayout:
+    """Node-major segmentation of the flat attribute lists.
+
+    Segment ``local_node * n_attrs + attr`` holds the (sorted, descending)
+    present values of ``attr`` restricted to instances of ``local_node``.
+    """
+
+    offsets: np.ndarray  # (n_nodes * n_attrs + 1,) element offsets
+    n_nodes: int
+    n_attrs: int
+
+    def __post_init__(self) -> None:
+        self.offsets = np.asarray(self.offsets, dtype=np.int64)
+        if self.offsets.size != self.n_nodes * self.n_attrs + 1:
+            raise ValueError("offsets must have n_nodes * n_attrs + 1 entries")
+
+    @property
+    def n_segments(self) -> int:
+        return self.n_nodes * self.n_attrs
+
+    @property
+    def n_elements(self) -> int:
+        return int(self.offsets[-1])
+
+    def seg_node(self) -> np.ndarray:
+        """Segment -> local node index."""
+        return np.repeat(np.arange(self.n_nodes, dtype=np.int64), self.n_attrs)
+
+    def seg_attr(self) -> np.ndarray:
+        """Segment -> attribute index."""
+        return np.tile(np.arange(self.n_attrs, dtype=np.int64), self.n_nodes)
+
+    def node_offsets(self) -> np.ndarray:
+        """Segmentation of the *segment* axis by node (for the node reduce)."""
+        return np.arange(0, self.n_segments + 1, self.n_attrs, dtype=np.int64)
+
+
+@dataclasses.dataclass
+class NodeBestSplits:
+    """Best split per active node (arrays indexed by local node id).
+
+    ``attr == -1`` means no valid candidate existed.  ``left_*`` are the
+    totals routed to the left child *including* the missing-value mass when
+    ``default_left`` -- exactly the child statistics the trainer needs.
+    ``elem_pos`` is the global flat-array index where the right part of the
+    chosen segment begins (a positional split: present entries of the
+    segment with index < ``elem_pos`` go left).
+    """
+
+    gain: np.ndarray
+    attr: np.ndarray
+    seg: np.ndarray
+    elem_pos: np.ndarray
+    threshold: np.ndarray
+    default_left: np.ndarray
+    left_g: np.ndarray
+    left_h: np.ndarray
+    left_n: np.ndarray
+
+    @property
+    def found(self) -> np.ndarray:
+        return self.attr >= 0
+
+
+def eq2_gain(
+    gl: np.ndarray, hl: np.ndarray, g: np.ndarray, h: np.ndarray, lambda_: float
+) -> np.ndarray:
+    """The split gain of Eq. (2) (with the standard ``+ lambda`` in the
+    parent term -- the paper's ``-`` is a typo against its reference [3])."""
+    gl = np.asarray(gl, dtype=np.float64)
+    hl = np.asarray(hl, dtype=np.float64)
+    g = np.asarray(g, dtype=np.float64)
+    h = np.asarray(h, dtype=np.float64)
+    gr = g - gl
+    hr = h - hl
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = 0.5 * (gl * gl / (hl + lambda_) + gr * gr / (hr + lambda_) - g * g / (h + lambda_))
+    return np.where(np.isfinite(out), out, -np.inf)
+
+
+def quantize_gain(gain: np.ndarray) -> np.ndarray:
+    """Collapse sub-float32 noise before gain comparisons (module docstring).
+
+    Magnitudes below 1e-10 are flushed to exactly 0 so an algebraically-zero
+    gain (whose summation noise may land on either side of 0) compares
+    against the ``> gamma`` split threshold identically in every
+    implementation.
+    """
+    out = np.asarray(gain, dtype=np.float32).astype(np.float64)
+    return np.where(np.abs(out) < 1e-10, 0.0, out)
+
+
+def _last_valid(cum: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment inclusive-scan value at the segment's last element
+    (0 for empty segments)."""
+    lens = np.diff(offsets)
+    idx = np.maximum(offsets[1:] - 1, 0)
+    return np.where(lens > 0, cum[idx] if cum.size else 0.0, 0.0)
+
+
+def _select_splits(
+    device: GpuDevice,
+    *,
+    cand_gain: np.ndarray,
+    cand_dir: np.ndarray,
+    cand_elem_pos: np.ndarray,
+    cand_thr: np.ndarray,
+    cand_gl: np.ndarray,
+    cand_hl: np.ndarray,
+    cand_nl: np.ndarray,
+    cand_offsets: np.ndarray,
+    seg_elem_offsets: np.ndarray,
+    seg_g: np.ndarray,
+    seg_h: np.ndarray,
+    seg_min_value: np.ndarray,
+    miss_g: np.ndarray,
+    miss_h: np.ndarray,
+    miss_n: np.ndarray,
+    node_g: np.ndarray,
+    node_h: np.ndarray,
+    layout: SegmentLayout,
+    lambda_: float,
+    setkey_enabled: bool,
+    setkey_c: int,
+) -> NodeBestSplits:
+    """Shared tail of split finding: per-segment argmax over interior
+    candidates, boundary (missing) candidates, then the per-node reduce."""
+    S = layout.n_segments
+    seg_node = layout.seg_node()
+    lens = np.diff(seg_elem_offsets)
+    has_missing = miss_n > 0
+    nonempty = lens > 0
+    node_g_seg = node_g[seg_node]
+    node_h_seg = node_h[seg_node]
+
+    # -- interior candidates: segmented argmax with the SetKey grid ----------
+    plan = plan_segment_grid(device.spec, max(S, 1), enabled=setkey_enabled, c=setkey_c)
+    best_gain, best_cand = segmented_argmax(
+        device,
+        cand_gain,
+        cand_offsets,
+        name="seg_reduce_best_split",
+        blocks=plan.blocks,
+        blocks_scale=not plan.custom,
+    )
+
+    seg_gain = best_gain.copy()
+    hit = best_cand >= 0
+    safe = np.maximum(best_cand, 0)
+    if cand_elem_pos.size:
+        seg_pos = np.where(hit, cand_elem_pos[safe], -1)
+        seg_thr = np.where(hit, cand_thr[safe], np.nan)
+        seg_dir = np.where(hit, cand_dir[safe], False)
+        base_gl = np.where(hit, cand_gl[safe], 0.0)
+        base_hl = np.where(hit, cand_hl[safe], 0.0)
+        base_nl = np.where(hit, cand_nl[safe], 0)
+    else:
+        # no interior candidates exist anywhere (e.g. every segment empty
+        # after a stochastic round's staging): boundary candidates may still
+        # apply below
+        seg_pos = np.full(S, -1, dtype=np.int64)
+        seg_thr = np.full(S, np.nan)
+        seg_dir = np.zeros(S, dtype=bool)
+        base_gl = np.zeros(S)
+        base_hl = np.zeros(S)
+        base_nl = np.zeros(S, dtype=np.int64)
+    seg_lg = base_gl + np.where(seg_dir, miss_g, 0.0)
+    seg_lh = base_hl + np.where(seg_dir, miss_h, 0.0)
+    seg_ln = base_nl + np.where(seg_dir, miss_n, 0)
+
+    # -- boundary candidate: all present left | missing right ----------------
+    sp1_ok = has_missing & nonempty
+    sp1_gain = np.where(
+        sp1_ok,
+        quantize_gain(eq2_gain(seg_g, seg_h, node_g_seg, node_h_seg, lambda_)),
+        -np.inf,
+    )
+    take = sp1_gain > seg_gain
+    seg_gain = np.where(take, sp1_gain, seg_gain)
+    seg_pos = np.where(take, seg_elem_offsets[1:], seg_pos)
+    seg_thr = np.where(take, np.nextafter(seg_min_value, -np.inf), seg_thr)
+    seg_dir = np.where(take, False, seg_dir)
+    seg_lg = np.where(take, seg_g, seg_lg)
+    seg_lh = np.where(take, seg_h, seg_lh)
+    seg_ln = np.where(take, lens, seg_ln)
+
+    device.launch(
+        "combine_boundary_candidates",
+        elements=S,
+        flops_per_element=20.0,
+        coalesced_bytes=S * 8 * 10,
+        blocks=plan.blocks,
+        blocks_scale=not plan.custom,
+    )
+
+    # -- node-level reduce: best attribute per node (first max = lowest) -----
+    node_best_gain, node_best_seg = segmented_argmax(
+        device, seg_gain, layout.node_offsets(), name="node_reduce_best_attr"
+    )
+    found = node_best_seg >= 0
+    sel = np.maximum(node_best_seg, 0)
+    no_candidate = found & ~np.isfinite(node_best_gain)
+    found = found & ~no_candidate
+
+    return NodeBestSplits(
+        gain=np.where(found, node_best_gain, -np.inf),
+        attr=np.where(found, layout.seg_attr()[sel], -1),
+        seg=np.where(found, sel, -1),
+        elem_pos=np.where(found, seg_pos[sel], -1),
+        threshold=np.where(found, seg_thr[sel], np.nan),
+        default_left=np.where(found, seg_dir[sel], False).astype(bool),
+        left_g=np.where(found, seg_lg[sel], 0.0),
+        left_h=np.where(found, seg_lh[sel], 0.0),
+        left_n=np.where(found, seg_ln[sel], 0).astype(np.int64),
+    )
+
+
+def find_best_splits_sparse(
+    device: GpuDevice,
+    values: np.ndarray,
+    inst: np.ndarray,
+    layout: SegmentLayout,
+    g: np.ndarray,
+    h: np.ndarray,
+    node_g: np.ndarray,
+    node_h: np.ndarray,
+    node_n: np.ndarray,
+    *,
+    lambda_: float,
+    setkey_enabled: bool = True,
+    setkey_c: int = 1000,
+) -> NodeBestSplits:
+    """Split finding on uncompressed sorted attribute lists (Section III-B)."""
+    n = values.size
+    offsets = check_offsets(layout.offsets, n)
+    with device.phase(device.current_phase):
+        g_ent = gather(device, g, inst, name="gather_gradients")
+        h_ent = gather(device, h, inst, name="gather_hessians")
+        cg = segmented_inclusive_cumsum(device, g_ent, offsets, name="seg_prefix_sum_g")
+        ch = segmented_inclusive_cumsum(device, h_ent, offsets, name="seg_prefix_sum_h")
+
+    sid = seg_ids(offsets, n)
+    seg_node = layout.seg_node()
+    lens = np.diff(offsets)
+
+    seg_g = _last_valid(cg, offsets)
+    seg_h = _last_valid(ch, offsets)
+    miss_g = node_g[seg_node] - seg_g
+    miss_h = node_h[seg_node] - seg_h
+    miss_n = node_n[seg_node] - lens
+
+    # exclusive prefix at each entry = "everything strictly above this value"
+    gl = cg - g_ent
+    hl = ch - h_ent
+
+    pos = np.arange(n, dtype=np.int64) - offsets[:-1][sid]
+    valid = pos > 0
+    if n > 1:
+        same_as_prev = np.empty(n, dtype=bool)
+        same_as_prev[0] = False
+        same_as_prev[1:] = values[1:] == values[:-1]
+        # "reset gain of repeated split points": only the first occurrence
+        # of each value group is a real candidate
+        valid &= ~same_as_prev
+
+    node_of_ent = seg_node[sid]
+    g_tot = node_g[node_of_ent]
+    h_tot = node_h[node_of_ent]
+    gain_mr = quantize_gain(eq2_gain(gl, hl, g_tot, h_tot, lambda_))
+    gain_ml = quantize_gain(
+        eq2_gain(gl + miss_g[sid], hl + miss_h[sid], g_tot, h_tot, lambda_)
+    )
+    cand_dir = gain_ml >= gain_mr
+    cand_gain = np.where(valid, np.maximum(gain_ml, gain_mr), -np.inf)
+
+    prev = np.empty(n, dtype=np.float64)
+    if n:
+        prev[0] = values[0]
+        prev[1:] = values[:-1]
+    cand_thr = (prev + values) / 2.0
+
+    device.launch(
+        "compute_split_gains",
+        elements=n,
+        flops_per_element=30.0,
+        coalesced_bytes=n * 8 * 6,
+    )
+
+    seg_min_value = np.where(
+        lens > 0, values[np.maximum(offsets[1:] - 1, 0)] if n else 0.0, np.nan
+    )
+
+    return _select_splits(
+        device,
+        cand_gain=cand_gain,
+        cand_dir=cand_dir,
+        cand_elem_pos=np.arange(n, dtype=np.int64),
+        cand_thr=cand_thr,
+        cand_gl=gl,
+        cand_hl=hl,
+        cand_nl=pos,
+        cand_offsets=offsets,
+        seg_elem_offsets=offsets,
+        seg_g=seg_g,
+        seg_h=seg_h,
+        seg_min_value=seg_min_value,
+        miss_g=miss_g,
+        miss_h=miss_h,
+        miss_n=miss_n,
+        node_g=node_g,
+        node_h=node_h,
+        layout=layout,
+        lambda_=lambda_,
+        setkey_enabled=setkey_enabled,
+        setkey_c=setkey_c,
+    )
+
+
+def find_best_splits_rle(
+    device: GpuDevice,
+    rle: RunLengthColumns,
+    inst: np.ndarray,
+    layout: SegmentLayout,
+    g: np.ndarray,
+    h: np.ndarray,
+    node_g: np.ndarray,
+    node_h: np.ndarray,
+    node_n: np.ndarray,
+    *,
+    lambda_: float,
+    setkey_enabled: bool = True,
+    setkey_c: int = 1000,
+) -> NodeBestSplits:
+    """Split finding on RLE-compressed values (Section III-C, Fig. 5).
+
+    Per-run gradient sums replace per-entry gradients; each run is exactly
+    one candidate, so no duplicate suppression is needed and the reductions
+    shrink from ``nnz`` to ``n_runs`` items.  Functionally equivalent to the
+    sparse path (a run's first element is the group's first occurrence).
+    """
+    n = inst.size
+    offsets = check_offsets(layout.offsets, n)
+    if rle.n_elements != n:
+        raise ValueError("RLE element count must match the instance array")
+    n_runs = rle.n_runs
+    run_starts = rle.run_starts()
+    run_elem_offsets = np.concatenate((run_starts, [n])).astype(np.int64)
+
+    with device.phase(device.current_phase):
+        g_ent = gather(device, g, inst, name="gather_gradients")
+        h_ent = gather(device, h, inst, name="gather_hessians")
+        # Fig. 5: aggregate gradients of instances sharing an attribute value
+        g_run = segmented_sum(device, g_ent, run_elem_offsets, name="rle_aggregate_g")
+        h_run = segmented_sum(device, h_ent, run_elem_offsets, name="rle_aggregate_h")
+        cgr = segmented_inclusive_cumsum(device, g_run, rle.run_offsets, name="seg_prefix_sum_g_rle")
+        chr_ = segmented_inclusive_cumsum(device, h_run, rle.run_offsets, name="seg_prefix_sum_h_rle")
+
+    seg_node = layout.seg_node()
+    lens = np.diff(offsets)
+
+    seg_g = _last_valid(cgr, rle.run_offsets)
+    seg_h = _last_valid(chr_, rle.run_offsets)
+    miss_g = node_g[seg_node] - seg_g
+    miss_h = node_h[seg_node] - seg_h
+    miss_n = node_n[seg_node] - lens
+
+    gl = cgr - g_run
+    hl = chr_ - h_run
+
+    rid_seg = seg_ids(rle.run_offsets, n_runs)  # run -> segment
+    run_pos = np.arange(n_runs, dtype=np.int64) - rle.run_offsets[:-1][rid_seg]
+    valid = run_pos > 0
+
+    node_of_run = seg_node[rid_seg]
+    g_tot = node_g[node_of_run]
+    h_tot = node_h[node_of_run]
+    gain_mr = quantize_gain(eq2_gain(gl, hl, g_tot, h_tot, lambda_))
+    gain_ml = quantize_gain(
+        eq2_gain(gl + miss_g[rid_seg], hl + miss_h[rid_seg], g_tot, h_tot, lambda_)
+    )
+    cand_dir = gain_ml >= gain_mr
+    cand_gain = np.where(valid, np.maximum(gain_ml, gain_mr), -np.inf)
+
+    prev = np.empty(n_runs, dtype=np.float64)
+    if n_runs:
+        prev[0] = rle.run_values[0]
+        prev[1:] = rle.run_values[:-1]
+    cand_thr = (prev + rle.run_values) / 2.0
+
+    # element count strictly above each run = its run start within the segment
+    cand_nl = run_starts - offsets[:-1][rid_seg] if n_runs else np.empty(0, np.int64)
+
+    device.launch(
+        "compute_split_gains_rle",
+        elements=n_runs,
+        flops_per_element=30.0,
+        coalesced_bytes=n_runs * 8 * 6,
+    )
+
+    run_lens_per_seg = np.diff(rle.run_offsets)
+    seg_min_value = np.where(
+        run_lens_per_seg > 0,
+        rle.run_values[np.maximum(rle.run_offsets[1:] - 1, 0)] if n_runs else 0.0,
+        np.nan,
+    )
+
+    return _select_splits(
+        device,
+        cand_gain=cand_gain,
+        cand_dir=cand_dir,
+        cand_elem_pos=run_starts,
+        cand_thr=cand_thr,
+        cand_gl=gl,
+        cand_hl=hl,
+        cand_nl=cand_nl,
+        cand_offsets=rle.run_offsets,
+        seg_elem_offsets=offsets,
+        seg_g=seg_g,
+        seg_h=seg_h,
+        seg_min_value=seg_min_value,
+        miss_g=miss_g,
+        miss_h=miss_h,
+        miss_n=miss_n,
+        node_g=node_g,
+        node_h=node_h,
+        layout=layout,
+        lambda_=lambda_,
+        setkey_enabled=setkey_enabled,
+        setkey_c=setkey_c,
+    )

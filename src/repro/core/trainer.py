@@ -1,0 +1,475 @@
+"""The GPU-GBDT training loop: Algorithm 1 on the simulated device.
+
+Per boosting round the trainer:
+
+1. computes gradients (SmartGD or traversal, :mod:`repro.core.smartgd`);
+2. grows the tree level by level; at each level one kernel sequence finds
+   the best split of **every** active node (:mod:`repro.core.split`) --
+   the paper's node x attribute x split-point parallelism;
+3. splits the nodes: instances are routed by *position* in the chosen
+   segment (entries before the split point go left, matching the sorted
+   enumeration exactly), the attribute lists are partitioned
+   order-preservingly (:mod:`repro.core.partition`), and the RLE runs are
+   split directly or via decompression (:mod:`repro.core.rle_split`);
+4. finalizes leaves with weight ``-eta * G / (H + lambda)`` and reports
+   them to the gradient computer (SmartGD's "intermediate results").
+
+Every Fig. 9 optimization switch in :class:`~repro.core.params.GBDTParams`
+changes the *recorded work* (and sometimes the code path) but never the
+resulting trees -- ``tests/test_trainer.py`` asserts tree identity across
+all switch combinations and against the independent CPU reference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+import numpy as np
+
+from ..data.matrix import CSRMatrix
+from ..data.rle import RunLengthColumns, decide_compression, encode_segments
+from ..data.sorted_columns import build_sorted_columns
+from ..gpusim.kernel import GpuDevice
+from ..gpusim.primitives import bincount_sum
+from .booster_model import GBDTModel
+from .params import GBDTParams
+from .partition import partition_segments, plan_partition
+from .rle_split import split_runs_direct, split_runs_with_decompression
+from .sampling import TreeSample, sample_tree
+from .smartgd import GradientComputer
+from .split import SegmentLayout, find_best_splits_rle, find_best_splits_sparse
+from .tree import DecisionTree
+
+__all__ = ["GPUGBDTTrainer", "TrainReport"]
+
+
+@dataclasses.dataclass
+class TrainReport:
+    """Side information from a training run."""
+
+    used_rle: bool
+    compression_ratio: float
+    n_nodes_total: int
+    n_leaves_total: int
+    #: per-tree node counts, in boosting order
+    tree_sizes: list = dataclasses.field(default_factory=list)
+    #: deepest leaf over the whole ensemble
+    max_depth_seen: int = 0
+
+    @property
+    def n_trees(self) -> int:
+        return len(self.tree_sizes)
+
+    @property
+    def mean_tree_size(self) -> float:
+        return float(sum(self.tree_sizes) / len(self.tree_sizes)) if self.tree_sizes else 0.0
+
+
+class GPUGBDTTrainer:
+    """Train a GBDT on the simulated GPU.
+
+    Parameters
+    ----------
+    params:
+        Hyper-parameters and optimization switches.
+    device:
+        Simulated device (scales pre-configured by the caller/harness);
+        a fresh Titan X is created when omitted.
+    row_scale:
+        Full-scale rows per run row, for per-instance kernel accounting.
+    dense_memory_model:
+        When True, device memory is registered the way the dense GPU
+        XGBoost baseline allocates it (n x d cells + node-interleaved
+        gradient copies) instead of GPU-GBDT's sparse/RLE layout.  Used by
+        :mod:`repro.cpu.gpu_xgboost`.
+    """
+
+    def __init__(
+        self,
+        params: GBDTParams | None = None,
+        device: GpuDevice | None = None,
+        *,
+        row_scale: float = 1.0,
+        dense_memory_model: bool = False,
+    ) -> None:
+        self.params = params if params is not None else GBDTParams()
+        self.device = device if device is not None else GpuDevice()
+        self.row_scale = float(row_scale)
+        self.dense_memory_model = dense_memory_model
+        self.report: TrainReport | None = None
+
+    # ----------------------------------------------------------------- setup
+    def _register_memory(self, X: CSRMatrix, used_rle: bool, rle: RunLengthColumns | None) -> None:
+        """Register full-scale device buffers; raises DeviceOutOfMemory."""
+        mem = self.device.memory
+        nnz_full = X.nnz * self.device.work_scale
+        n_full = X.n_rows * self.row_scale
+        if self.dense_memory_model:
+            # dense baseline: (fp32 value + int32 instance id) per cell of the
+            # n x d matrix, plus node-interleaved g/h copies (Section II-D:
+            # "the number of copies equals the number of nodes to split").
+            # Gain evaluation reuses per-column workspace, so no separate
+            # per-candidate buffer is charged (real-sim must fit, Table II).
+            mem.alloc("dense_sorted_cells", nnz_full * 8)
+            copies = 2 ** max(self.params.max_depth - 1, 0)
+            mem.alloc("node_interleaved_gh", n_full * 8 * copies)
+            mem.alloc("predictions", n_full * 4)
+            mem.alloc("instance_to_node", n_full * 4)
+            return
+        if used_rle and rle is not None:
+            runs_full = rle.n_runs * self.device.work_scale
+            mem.alloc("rle_runs", runs_full * 8)
+            mem.alloc("per_candidate_gains", runs_full * 4)
+        else:
+            mem.alloc("sorted_values", nnz_full * 4)
+            mem.alloc("per_candidate_gains", nnz_full * 4)
+        mem.alloc("instance_ids", nnz_full * 4)
+        # the order-preserving scatter ping-pongs one attribute at a time, so
+        # the workspace is two columns' worth of (value, id) pairs -- not a
+        # full double buffer (that is what lets GPU-GBDT hold every Table-II
+        # dataset while the dense baseline cannot)
+        mem.alloc("partition_column_workspace", 2 * (nnz_full / max(X.n_cols, 1)) * 8)
+        mem.alloc("gradients_gh", n_full * 8)
+        mem.alloc("predictions", n_full * 4)
+        mem.alloc("instance_to_node", n_full * 4)
+
+    # ------------------------------------------------------------------- fit
+    def fit(self, X: CSRMatrix, y: np.ndarray) -> GBDTModel:
+        """Train ``params.n_trees`` trees on ``(X, y)``."""
+        p = self.params
+        device = self.device
+        y = np.asarray(y, dtype=np.float64)
+        n, d = X.shape
+        if y.size != n:
+            raise ValueError(f"y has {y.size} entries for {n} rows")
+        if n < 2:
+            raise ValueError("need at least 2 training instances")
+        if d < 1:
+            raise ValueError("need at least 1 attribute")
+
+        with device.phase("setup"):
+            csc = X.to_csc()
+            cols = build_sorted_columns(csc, device)
+            base_rle: RunLengthColumns | None = None
+            used_rle = False
+            if p.use_rle:
+                used_rle = decide_compression(
+                    p.rle_policy,
+                    n_rows=n,
+                    n_cols=d,
+                    values=cols.values,
+                    offsets=cols.col_offsets,
+                    paper_threshold=p.rle_paper_threshold,
+                    measured_threshold=p.rle_measured_threshold,
+                )
+            if used_rle:
+                base_rle = encode_segments(cols.values, cols.col_offsets)
+                device.launch(
+                    "rle_compress_initial",
+                    elements=X.nnz,
+                    flops_per_element=2.0,
+                    coalesced_bytes=X.nnz * 8 + base_rle.n_runs * 16,
+                )
+            # host -> device: instance ids + (compressed) values + targets.
+            # RLE shrinks the PCI-e traffic (Section III-C advantage (i)).
+            value_bytes = base_rle.n_runs * 8 if used_rle else X.nnz * 4
+            device.transfer("upload_training_data", X.nnz * 4 + value_bytes)
+            device.transfer("upload_targets", n * 4 * self.row_scale, scale=False)
+            self._register_memory(X, used_rle, base_rle)
+
+        gc = GradientComputer(
+            device,
+            p.loss_fn,
+            y,
+            use_smartgd=p.use_smartgd,
+            row_scale=self.row_scale,
+            X=X,
+        )
+
+        trees: List[DecisionTree] = []
+        n_nodes_total = 0
+        n_leaves_total = 0
+        for t_idx in range(p.n_trees):
+            with device.phase("gradients"):
+                g, h = gc.compute()
+            sample = sample_tree(
+                p.seed, t_idx, n, d, p.subsample, p.colsample_bytree
+            )
+            tree = self._grow_tree(X, g, h, cols, base_rle, used_rle, gc, sample)
+            if not sample.inst_mask.all():
+                gc.apply_tree_to(tree, np.flatnonzero(~sample.inst_mask))
+            gc.on_tree_finished(tree)
+            trees.append(tree)
+            n_nodes_total += tree.n_nodes
+            n_leaves_total += tree.n_leaves
+
+        self.report = TrainReport(
+            used_rle=used_rle,
+            compression_ratio=base_rle.compression_ratio if base_rle is not None else 1.0,
+            n_nodes_total=n_nodes_total,
+            n_leaves_total=n_leaves_total,
+            tree_sizes=[t.n_nodes for t in trees],
+            max_depth_seen=max((t.max_depth() for t in trees), default=0),
+        )
+        return GBDTModel(trees=trees, params=p, base_score=p.loss_fn.base_score(y))
+
+    # ------------------------------------------------------------- tree grow
+    def _grow_tree(
+        self,
+        X: CSRMatrix,
+        g: np.ndarray,
+        h: np.ndarray,
+        cols,
+        base_rle: RunLengthColumns | None,
+        used_rle: bool,
+        gc: GradientComputer,
+        sample: TreeSample | None = None,
+    ) -> DecisionTree:
+        p = self.params
+        device = self.device
+        n, d = X.shape
+        if sample is None:
+            sample = sample_tree(p.seed, 0, n, d, 1.0, 1.0)
+        self._tree_attrs = sample.attrs  # local -> global attribute map
+
+        tree = DecisionTree()
+
+        # per-tree working copies of the (compressed) attribute lists; on the
+        # device this is the first scatter into the double buffer
+        if sample.is_trivial:
+            inst_arr = cols.inst.copy()
+            vals = None if used_rle else cols.values.copy()
+            rle_state = base_rle
+            layout = SegmentLayout(cols.col_offsets.copy(), 1, d)
+            inst2local = np.zeros(n, dtype=np.int64)
+            n_inc = n
+        else:
+            # stochastic round: keep only the sampled rows/columns (an extra
+            # compaction pass over the staged lists)
+            parts_i, parts_v, lens = [], [], []
+            for a in sample.attrs:
+                lo, hi = cols.col_offsets[a], cols.col_offsets[a + 1]
+                inst_a = cols.inst[lo:hi]
+                keep = sample.inst_mask[inst_a]
+                parts_i.append(inst_a[keep])
+                parts_v.append(cols.values[lo:hi][keep])
+                lens.append(int(keep.sum()))
+            inst_arr = (
+                np.concatenate(parts_i) if parts_i else np.empty(0, np.int64)
+            )
+            stage_vals = (
+                np.concatenate(parts_v) if parts_v else np.empty(0)
+            )
+            offsets = np.concatenate(([0], np.cumsum(lens))).astype(np.int64)
+            layout = SegmentLayout(offsets, 1, sample.attrs.size)
+            if used_rle:
+                rle_state = encode_segments(stage_vals, offsets)
+                vals = None
+            else:
+                rle_state = None
+                vals = stage_vals
+            inst2local = np.where(sample.inst_mask, 0, -1).astype(np.int64)
+            n_inc = sample.n_included
+        tree.add_root(n_inc)
+        device.launch(
+            "stage_attribute_lists",
+            elements=X.nnz,
+            flops_per_element=0.5,
+            coalesced_bytes=X.nnz * 16,
+        )
+
+        node_tree_ids = np.array([0], dtype=np.int64)
+        with device.phase("gradients"):
+            included = np.flatnonzero(sample.inst_mask)
+            node_g = bincount_sum(
+                device, np.zeros(included.size, np.int64), g[included], 1,
+                name="node_gradient_totals",
+            )
+            node_h = bincount_sum(
+                device, np.zeros(included.size, np.int64), h[included], 1,
+                name="node_hessian_totals",
+            )
+        node_n = np.array([n_inc], dtype=np.int64)
+
+        for _depth in range(p.max_depth):
+            n_active = node_tree_ids.size
+            if n_active == 0:
+                break
+            with device.phase("find_split"):
+                if used_rle:
+                    best = find_best_splits_rle(
+                        device, rle_state, inst_arr, layout, g, h, node_g, node_h, node_n,
+                        lambda_=p.lambda_, setkey_enabled=p.use_custom_setkey, setkey_c=p.setkey_c,
+                    )
+                else:
+                    best = find_best_splits_sparse(
+                        device, vals, inst_arr, layout, g, h, node_g, node_h, node_n,
+                        lambda_=p.lambda_, setkey_enabled=p.use_custom_setkey, setkey_c=p.setkey_c,
+                    )
+
+            split_mask = best.found & (best.gain > p.gamma)
+
+            with device.phase("split_node"):
+                # ---- finalize leaves (nodes that will not split) -----------
+                leaf_locals = np.flatnonzero(~split_mask)
+                if leaf_locals.size:
+                    self._finalize_leaves(
+                        tree, gc, node_tree_ids, node_g, node_h, leaf_locals, inst2local
+                    )
+                if not split_mask.any():
+                    inst2local[:] = -1
+                    break
+
+                split_locals = np.flatnonzero(split_mask)
+                k = split_locals.size
+
+                # ---- tree bookkeeping -------------------------------------
+                new_tree_ids = np.empty(2 * k, dtype=np.int64)
+                for j, loc in enumerate(split_locals):
+                    lid, rid = tree.split_node(
+                        int(node_tree_ids[loc]),
+                        int(self._tree_attrs[best.attr[loc]]),
+                        float(best.threshold[loc]),
+                        bool(best.default_left[loc]),
+                        float(best.gain[loc]),
+                        n_left=int(best.left_n[loc]),
+                        n_right=int(node_n[loc] - best.left_n[loc]),
+                    )
+                    new_tree_ids[2 * j] = lid
+                    new_tree_ids[2 * j + 1] = rid
+
+                # ---- route instances (positional split) --------------------
+                new_local_of = np.full(n_active, -1, dtype=np.int64)
+                new_local_of[split_locals] = 2 * np.arange(k, dtype=np.int64)
+
+                side_inst = np.full(n, -1, dtype=np.int8)
+                local_safe = np.maximum(inst2local, 0)
+                active = (inst2local >= 0) & split_mask[local_safe]
+                default_side = np.where(best.default_left, 0, 1).astype(np.int8)
+                side_inst[active] = default_side[inst2local[active]]
+
+                # present entries of the chosen segments override the default
+                S = layout.n_segments
+                split_pos = np.full(S, -1, dtype=np.int64)
+                split_pos[best.seg[split_locals]] = best.elem_pos[split_locals]
+                sid = np.repeat(np.arange(S, dtype=np.int64), np.diff(layout.offsets))
+                chosen = split_pos[sid] >= 0
+                elem_idx = np.arange(layout.n_elements, dtype=np.int64)
+                elem_side = (elem_idx < split_pos[sid]).astype(np.int8)
+                side_inst[inst_arr[chosen]] = np.where(elem_side[chosen] == 1, 0, 1)
+                device.launch(
+                    "update_instance_to_node",
+                    elements=n * self.row_scale,
+                    flops_per_element=2.0,
+                    coalesced_bytes=n * self.row_scale * 9,
+                    irregular_bytes=node_n[split_locals].sum()
+                    * (self.device.work_scale / max(d, 1))
+                    * 4,
+                    scale=False,
+                )
+
+                inst2local = np.where(active, new_local_of[local_safe] + side_inst, -1)
+
+                # ---- partition the attribute lists -------------------------
+                d_used = layout.n_attrs
+                seg_node = layout.seg_node()
+                seg_attr = layout.seg_attr()
+                splitting_seg = split_mask[seg_node]
+                child_base = new_local_of[seg_node]
+                left_seg = np.where(splitting_seg, child_base * d_used + seg_attr, -1)
+                right_seg = np.where(splitting_seg, (child_base + 1) * d_used + seg_attr, -1)
+
+                side_ent = side_inst[inst_arr]
+                plan = plan_partition(
+                    int(layout.n_elements * device.work_scale),
+                    k,
+                    max_counter_mem_bytes=p.max_counter_mem_bytes,
+                    use_custom_workload=p.use_custom_workload,
+                    fixed_thread_workload=p.fixed_thread_workload,
+                )
+                dest, new_offsets = partition_segments(
+                    device,
+                    layout.offsets,
+                    side_ent,
+                    left_seg,
+                    right_seg,
+                    2 * k * d_used,
+                    plan,
+                    bytes_per_element=8 if used_rle else 16,
+                )
+                keep = dest >= 0
+                n_new = int(new_offsets[-1])
+                new_inst = np.empty(n_new, dtype=np.int64)
+                new_inst[dest[keep]] = inst_arr[keep]
+                if used_rle:
+                    if p.use_direct_rle:
+                        rle_state = split_runs_direct(
+                            device, rle_state, side_ent, left_seg, right_seg, 2 * k * d_used
+                        )
+                    else:
+                        rle_state = split_runs_with_decompression(
+                            device, rle_state, dest, new_offsets
+                        )
+                else:
+                    new_vals = np.empty(n_new, dtype=np.float64)
+                    new_vals[dest[keep]] = vals[keep]
+                    vals = new_vals
+                inst_arr = new_inst
+                layout = SegmentLayout(new_offsets, 2 * k, d_used)
+
+                # ---- child statistics from the chosen splits ---------------
+                lg = best.left_g[split_locals]
+                lh = best.left_h[split_locals]
+                ln = best.left_n[split_locals]
+                pg = node_g[split_locals]
+                ph = node_h[split_locals]
+                pn = node_n[split_locals]
+                node_g = np.empty(2 * k)
+                node_h = np.empty(2 * k)
+                node_n = np.empty(2 * k, dtype=np.int64)
+                node_g[0::2], node_g[1::2] = lg, pg - lg
+                node_h[0::2], node_h[1::2] = lh, ph - lh
+                node_n[0::2], node_n[1::2] = ln, pn - ln
+                node_tree_ids = new_tree_ids
+
+        # nodes still active after the depth budget become leaves
+        if node_tree_ids.size and (inst2local >= 0).any():
+            with device.phase("split_node"):
+                self._finalize_leaves(
+                    tree,
+                    gc,
+                    node_tree_ids,
+                    node_g,
+                    node_h,
+                    np.arange(node_tree_ids.size),
+                    inst2local,
+                )
+            inst2local[:] = -1
+        return tree
+
+    def _finalize_leaves(
+        self,
+        tree: DecisionTree,
+        gc: GradientComputer,
+        node_tree_ids: np.ndarray,
+        node_g: np.ndarray,
+        node_h: np.ndarray,
+        leaf_locals: np.ndarray,
+        inst2local: np.ndarray,
+    ) -> None:
+        """Set leaf weights ``-eta G/(H + lambda)`` and report to SmartGD."""
+        p = self.params
+        values = np.zeros(node_tree_ids.size)
+        values[leaf_locals] = (
+            -p.learning_rate * node_g[leaf_locals] / (node_h[leaf_locals] + p.lambda_)
+        )
+        for loc in leaf_locals:
+            tree.set_leaf(int(node_tree_ids[loc]), float(values[loc]))
+        is_leaf_local = np.zeros(node_tree_ids.size, dtype=bool)
+        is_leaf_local[leaf_locals] = True
+        local_safe = np.maximum(inst2local, 0)
+        settled = (inst2local >= 0) & is_leaf_local[local_safe]
+        ids = np.flatnonzero(settled)
+        gc.on_leaves(ids, values[inst2local[ids]])
+        inst2local[ids] = -1

@@ -1,0 +1,108 @@
+"""LibSVM text-format I/O.
+
+The paper's datasets all come from the LibSVM repository; this module reads
+and writes that format so the harness can run on the *real* files when a
+user has them on disk (the synthetic generators in
+:mod:`repro.data.datasets` are only the offline stand-in).
+
+Format: one instance per line, ``<label> <index>:<value> ...`` with indices
+conventionally 1-based.  Comments after ``#`` are ignored, blank lines are
+skipped.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Tuple
+
+import numpy as np
+
+from .matrix import CSRMatrix
+
+__all__ = ["load_libsvm", "dump_libsvm", "loads_libsvm", "dumps_libsvm"]
+
+
+def loads_libsvm(
+    text: str, *, n_cols: int | None = None, zero_based: bool = False
+) -> Tuple[CSRMatrix, np.ndarray]:
+    """Parse LibSVM-formatted text into ``(CSRMatrix, labels)``."""
+    return _read(io.StringIO(text), n_cols=n_cols, zero_based=zero_based)
+
+
+def load_libsvm(
+    path: str | Path, *, n_cols: int | None = None, zero_based: bool = False
+) -> Tuple[CSRMatrix, np.ndarray]:
+    """Read a LibSVM file from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return _read(fh, n_cols=n_cols, zero_based=zero_based)
+
+
+def _read(
+    fh: TextIO, *, n_cols: int | None, zero_based: bool
+) -> Tuple[CSRMatrix, np.ndarray]:
+    labels: list[float] = []
+    indptr: list[int] = [0]
+    cols: list[int] = []
+    vals: list[float] = []
+    offset = 0 if zero_based else 1
+    for lineno, raw in enumerate(fh, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        try:
+            labels.append(float(parts[0]))
+        except ValueError:
+            raise ValueError(f"line {lineno}: bad label {parts[0]!r}") from None
+        row: list[tuple[int, float]] = []
+        for tok in parts[1:]:
+            try:
+                idx_s, val_s = tok.split(":", 1)
+                idx = int(idx_s) - offset
+                val = float(val_s)
+            except ValueError:
+                raise ValueError(f"line {lineno}: bad feature token {tok!r}") from None
+            if idx < 0:
+                raise ValueError(f"line {lineno}: feature index below {offset}")
+            row.append((idx, val))
+        row.sort(key=lambda cv: cv[0])
+        for idx, val in row:
+            cols.append(idx)
+            vals.append(val)
+        indptr.append(len(cols))
+    inferred = (max(cols) + 1) if cols else 0
+    if n_cols is None:
+        n_cols = inferred
+    elif n_cols < inferred:
+        raise ValueError(f"n_cols={n_cols} smaller than max feature index + 1 = {inferred}")
+    X = CSRMatrix(
+        np.asarray(indptr, dtype=np.int64),
+        np.asarray(cols, dtype=np.int64),
+        np.asarray(vals, dtype=np.float64),
+        n_cols=n_cols,
+    )
+    return X, np.asarray(labels, dtype=np.float64)
+
+
+def dumps_libsvm(X: CSRMatrix, y: np.ndarray, *, zero_based: bool = False) -> str:
+    """Serialize to LibSVM text."""
+    y = np.asarray(y, dtype=np.float64)
+    if y.size != X.n_rows:
+        raise ValueError("label count must match rows")
+    offset = 0 if zero_based else 1
+    out: list[str] = []
+    for i in range(X.n_rows):
+        cols, vals = X.row(i)
+        # repr() gives the shortest exact round-trip decimal for a float
+        feats = " ".join(
+            f"{int(c) + offset}:{float(v)!r}" for c, v in zip(cols, vals)
+        )
+        label = repr(float(y[i]))
+        out.append(f"{label} {feats}".rstrip())
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def dump_libsvm(path: str | Path, X: CSRMatrix, y: np.ndarray, *, zero_based: bool = False) -> None:
+    """Write a LibSVM file to disk."""
+    Path(path).write_text(dumps_libsvm(X, y, zero_based=zero_based), encoding="utf-8")

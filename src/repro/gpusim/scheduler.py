@@ -1,0 +1,77 @@
+"""Block-to-SM scheduling and occupancy accounting.
+
+A CUDA grid executes in *waves*: each SM holds a limited number of resident
+blocks (bounded by a per-SM thread budget and a hardware block cap), and the
+grid drains wave by wave.  Two consequences matter for the paper:
+
+* **Under-occupancy** -- a grid with fewer blocks than SMs leaves SMs idle.
+  This is why the data-parallel granularity challenge (Section III-A, third
+  challenge) exists: late-stage nodes are small, so naive one-node-at-a-time
+  kernels under-fill the device.
+* **Block-dispatch overhead** -- launching one block per segment creates
+  grids of millions of tiny blocks on high-dimensional datasets; the
+  hardware dispatch cost then becomes visible (10-20% in Fig. 9's
+  "Customized SetKey" ablation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .device import DeviceSpec
+
+__all__ = ["Occupancy", "occupancy"]
+
+#: per-SM resident-thread budget (Pascal/Kepler-era hardware)
+THREADS_PER_SM = 2048
+
+#: amortized GigaThread-engine cycles to dispatch one thread block to an SM
+#: (the cost model divides by sm_count, so this is cycles per block *per SM
+#: lane*; calibrated so one-block-per-segment grids cost 10-20% end-to-end
+#: on the high-dimensional datasets, the paper's Customized-SetKey effect)
+CYCLES_PER_BLOCK_DISPATCH = 10.0
+
+
+@dataclasses.dataclass(frozen=True)
+class Occupancy:
+    """Result of scheduling a grid on a device."""
+
+    resident_blocks: int  # blocks co-resident across the whole device
+    waves: int  # ceil(blocks / resident_blocks)
+    utilization: float  # fraction of device compute the grid can use
+    dispatch_seconds: float  # block dispatch overhead for the whole grid
+
+
+def occupancy(spec: DeviceSpec, blocks: int, threads_per_block: int) -> Occupancy:
+    """Schedule ``blocks`` blocks of ``threads_per_block`` threads on ``spec``.
+
+    Utilization combines two effects: SMs left idle when the last (or only)
+    wave is partially filled, and intra-block slack when the block is smaller
+    than a warp.
+    """
+    if blocks <= 0 or threads_per_block <= 0:
+        raise ValueError("grid geometry must be positive")
+    tpb = min(threads_per_block, spec.max_threads_per_block)
+    blocks_per_sm = min(spec.max_blocks_per_sm, max(1, THREADS_PER_SM // tpb))
+    resident = spec.sm_count * blocks_per_sm
+    waves = max(1, -(-blocks // resident))
+
+    # SM-level utilization: with fewer blocks than SMs, only `blocks` SMs work.
+    if blocks >= spec.sm_count:
+        sm_util = 1.0
+    else:
+        sm_util = blocks / spec.sm_count
+    # warp-level slack for very small blocks
+    warp_util = min(1.0, tpb / spec.warp_size)
+    util = sm_util * warp_util
+
+    # Dispatch overhead: blocks are issued by the GigaThread engine; the cost
+    # is amortized across SMs (they dispatch concurrently).
+    dispatch_s = blocks * CYCLES_PER_BLOCK_DISPATCH / (spec.clock_ghz * 1e9 * spec.sm_count)
+
+    return Occupancy(
+        resident_blocks=resident,
+        waves=waves,
+        utilization=util,
+        dispatch_seconds=dispatch_s,
+    )

@@ -1,0 +1,95 @@
+"""Chrome-trace export of a device's kernel timeline.
+
+Writes the recorded ledger as a ``chrome://tracing`` / Perfetto-compatible
+JSON document: one row per phase, one slice per kernel launch (duration =
+the cost model's time), PCIe transfers on their own row.  Handy for eyeball
+profiling of a training run::
+
+    from repro.gpusim.trace import export_chrome_trace
+    export_chrome_trace(device, "train.trace.json")
+
+Open the file at https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List
+
+from .costmodel import kernel_time, transfer_time
+from .kernel import GpuDevice
+
+__all__ = ["chrome_trace_events", "export_chrome_trace"]
+
+
+def chrome_trace_events(device: GpuDevice) -> List[dict]:
+    """Ledger -> list of Chrome Trace Event Format dicts (``X`` events).
+
+    Events are laid out back-to-back in recorded order (the cost model
+    assumes no overlap), with per-phase thread ids so the viewer groups
+    rows by training phase.
+    """
+    spec = device.spec
+    events: List[dict] = []
+    phase_tid = {}
+    t_us = 0.0
+    for k in device.ledger.kernels:
+        dur = kernel_time(spec, k) * 1e6
+        tid = phase_tid.setdefault(k.phase, len(phase_tid) + 1)
+        events.append(
+            {
+                "name": k.name,
+                "cat": k.phase,
+                "ph": "X",
+                "ts": round(t_us, 3),
+                "dur": round(dur, 3),
+                "pid": 1,
+                "tid": tid,
+                "args": {
+                    "elements": k.work.elements,
+                    "coalesced_bytes": k.work.coalesced_bytes,
+                    "irregular_bytes": k.work.irregular_bytes,
+                    "blocks": k.blocks,
+                    "launches": k.launches,
+                },
+            }
+        )
+        t_us += dur
+    pcie_tid = len(phase_tid) + 1
+    for t in device.ledger.transfers:
+        dur = transfer_time(spec, t) * 1e6
+        events.append(
+            {
+                "name": f"{t.name} ({t.direction})",
+                "cat": "pcie",
+                "ph": "X",
+                "ts": round(t_us, 3),
+                "dur": round(dur, 3),
+                "pid": 1,
+                "tid": pcie_tid,
+                "args": {"bytes": t.nbytes},
+            }
+        )
+        t_us += dur
+    # row labels
+    for phase, tid in list(phase_tid.items()) + [("pcie", pcie_tid)]:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": phase},
+            }
+        )
+    return events
+
+
+def export_chrome_trace(device: GpuDevice, path) -> int:
+    """Write the trace JSON; returns the number of slice events."""
+    events = chrome_trace_events(device)
+    Path(path).write_text(
+        json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}), encoding="utf-8"
+    )
+    return sum(1 for e in events if e.get("ph") == "X")

@@ -1,0 +1,1 @@
+"""Test package (importable so tests can share helpers from conftest)."""

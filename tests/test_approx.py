@@ -1,0 +1,227 @@
+"""Tests for the histogram/approximate trainer and quantile binning."""
+
+import numpy as np
+import pytest
+
+from repro import GBDTParams, GPUGBDTTrainer, GpuDevice, TITAN_X_PASCAL
+from repro.approx import HistogramGBDTTrainer, build_bins
+from repro.approx.quantile import bin_column_values
+from repro.data import CSRMatrix, build_sorted_columns, make_dataset
+from repro.metrics import rmse
+from tests.conftest import random_csr
+
+
+def sorted_cols(X):
+    return build_sorted_columns(X.to_csc())
+
+
+class TestQuantileBins:
+    def test_few_distinct_values_keep_one_bin_each(self):
+        X = CSRMatrix.from_rows(
+            [[(0, 1.0)], [(0, 2.0)], [(0, 2.0)], [(0, 3.0)]], n_cols=1
+        )
+        spec = build_bins(sorted_cols(X), max_bins=8)
+        assert spec.n_bins(0) == 3  # values {1, 2, 3}
+        assert list(spec.edges[0]) == sorted(spec.edges[0], reverse=True)
+
+    def test_bin_of_descending_convention(self):
+        X = CSRMatrix.from_rows(
+            [[(0, 1.0)], [(0, 2.0)], [(0, 3.0)]], n_cols=1
+        )
+        spec = build_bins(sorted_cols(X), max_bins=8)
+        bins = spec.bin_of(0, np.array([3.0, 2.0, 1.0]))
+        assert list(bins) == [0, 1, 2]  # largest value -> bin 0
+
+    def test_value_groups_never_straddle_bins(self):
+        rng = np.random.default_rng(0)
+        X = random_csr(rng, 200, 3, density=0.9, levels=5)
+        cols = sorted_cols(X)
+        spec = build_bins(cols, max_bins=3)  # fewer bins than levels
+        for j in range(3):
+            vals, _ = cols.column(j)
+            bins = spec.bin_of(j, vals)
+            # same value => same bin
+            for v in np.unique(vals):
+                assert len(set(bins[vals == v])) == 1
+
+    def test_equi_mass_on_continuous_data(self):
+        rng = np.random.default_rng(1)
+        X = random_csr(rng, 1000, 1, density=1.0)
+        cols = sorted_cols(X)
+        spec = build_bins(cols, max_bins=8)
+        vals, _ = cols.column(0)
+        counts = np.bincount(spec.bin_of(0, vals), minlength=spec.n_bins(0))
+        assert counts.max() <= 2.5 * counts[counts > 0].mean()
+
+    def test_empty_column(self):
+        X = CSRMatrix.from_rows([[(0, 1.0)]], n_cols=2)
+        spec = build_bins(sorted_cols(X), max_bins=4)
+        assert spec.n_bins(1) == 1  # no edges
+
+    def test_max_bins_validation(self):
+        X = CSRMatrix.from_rows([[(0, 1.0)]], n_cols=1)
+        with pytest.raises(ValueError):
+            build_bins(sorted_cols(X), max_bins=1)
+
+    def test_bin_column_values_matches_bin_of(self):
+        rng = np.random.default_rng(2)
+        X = random_csr(rng, 50, 4, density=0.7)
+        cols = sorted_cols(X)
+        spec = build_bins(cols, max_bins=6)
+        ent = bin_column_values(spec, cols)
+        for j in range(4):
+            lo, hi = cols.col_offsets[j], cols.col_offsets[j + 1]
+            assert np.array_equal(ent[lo:hi], spec.bin_of(j, cols.values[lo:hi]))
+
+    def test_binned_values_descending_per_column(self):
+        """Descending values => non-decreasing bin indices."""
+        rng = np.random.default_rng(3)
+        X = random_csr(rng, 120, 3, density=0.8)
+        cols = sorted_cols(X)
+        spec = build_bins(cols, max_bins=5)
+        ent = bin_column_values(spec, cols)
+        for j in range(3):
+            lo, hi = cols.col_offsets[j], cols.col_offsets[j + 1]
+            assert np.all(np.diff(ent[lo:hi]) >= 0)
+
+
+class TestHistogramTrainer:
+    def test_exact_partitions_on_quantized_data(self, covtype_small):
+        """With bins >= distinct values the candidate sets coincide, so the
+        learned partitions match the exact trainer's."""
+        ds = covtype_small
+        p = GBDTParams(n_trees=3, max_depth=4)
+        exact = GPUGBDTTrainer(p).fit(ds.X, ds.y)
+        hist = HistogramGBDTTrainer(p, max_bins=256).fit(ds.X, ds.y)
+        for a, b in zip(exact.trees, hist.trees):
+            assert a.attr == b.attr
+            assert a.left == b.left
+            assert a.n_instances == b.n_instances
+            assert np.allclose(a.value, b.value, atol=1e-8)
+        assert np.allclose(exact.predict(ds.X), hist.predict(ds.X))
+
+    def test_approximation_on_continuous_data(self, susy_small):
+        """Coarse bins genuinely change the trees but stay competitive --
+        the LightGBM trade-off the paper contrasts against."""
+        ds = susy_small
+        p = GBDTParams(n_trees=5, max_depth=4)
+        exact = GPUGBDTTrainer(p).fit(ds.X, ds.y)
+        hist = HistogramGBDTTrainer(p, max_bins=8).fit(ds.X, ds.y)
+        e = rmse(ds.y_test, exact.predict(ds.X_test))
+        a = rmse(ds.y_test, hist.predict(ds.X_test))
+        assert a < e * 1.25  # close, not equal
+        assert not np.allclose(exact.predict(ds.X), hist.predict(ds.X))
+
+    def test_histograms_cost_less_than_exact_at_scale(self, susy_small):
+        """The whole point of the approximate family: per level it touches
+        bins, not sorted entries, and never partitions value lists."""
+        ds = susy_small
+        p = GBDTParams(n_trees=3, max_depth=5)
+        d_exact = GpuDevice(TITAN_X_PASCAL, work_scale=ds.work_scale, seg_scale=ds.seg_scale)
+        GPUGBDTTrainer(p, d_exact, row_scale=ds.row_scale).fit(ds.X, ds.y)
+        d_hist = GpuDevice(TITAN_X_PASCAL, work_scale=ds.work_scale, seg_scale=ds.seg_scale)
+        HistogramGBDTTrainer(p, d_hist, max_bins=32, row_scale=ds.row_scale).fit(ds.X, ds.y)
+        assert d_hist.elapsed_seconds() < d_exact.elapsed_seconds()
+
+    def test_missing_values_follow_default(self, sparse_small):
+        ds = sparse_small
+        p = GBDTParams(n_trees=3, max_depth=3)
+        model = HistogramGBDTTrainer(p, max_bins=16).fit(ds.X, ds.y)
+        pred = model.predict(ds.X_test)
+        assert np.all(np.isfinite(pred))
+
+    def test_boosting_reduces_error(self, susy_small):
+        ds = susy_small
+        model = HistogramGBDTTrainer(GBDTParams(n_trees=8, max_depth=4), max_bins=16).fit(
+            ds.X, ds.y
+        )
+        hist = model.eval_history(ds.X, ds.y)
+        assert hist[-1] < hist[0]
+
+    def test_instance_counts_partition(self, covtype_small):
+        ds = covtype_small
+        model = HistogramGBDTTrainer(GBDTParams(n_trees=2, max_depth=4), max_bins=16).fit(
+            ds.X, ds.y
+        )
+        for t in model.trees:
+            for nid in range(t.n_nodes):
+                if not t.is_leaf(nid):
+                    assert (
+                        t.n_instances[nid]
+                        == t.n_instances[t.left[nid]] + t.n_instances[t.right[nid]]
+                    )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HistogramGBDTTrainer(max_bins=1)
+        X = CSRMatrix.from_rows([[(0, 1.0)]], n_cols=1)
+        with pytest.raises(ValueError):
+            HistogramGBDTTrainer(GBDTParams(n_trees=1)).fit(X, np.array([1.0]))
+
+    def test_gamma_prunes(self, covtype_small):
+        ds = covtype_small
+        loose = HistogramGBDTTrainer(GBDTParams(n_trees=2, max_depth=4), max_bins=16).fit(ds.X, ds.y)
+        strict = HistogramGBDTTrainer(
+            GBDTParams(n_trees=2, max_depth=4, gamma=1e6), max_bins=16
+        ).fit(ds.X, ds.y)
+        assert sum(t.n_nodes for t in strict.trees) < sum(t.n_nodes for t in loose.trees)
+
+
+class TestLossguideGrowth:
+    def test_unbounded_matches_depthwise(self, susy_small):
+        """With no leaf cap, per-leaf decisions are order-independent, so
+        lossguide grows the same partition as depthwise."""
+        ds = susy_small
+        p = GBDTParams(n_trees=3, max_depth=4)
+        depth = HistogramGBDTTrainer(p, max_bins=16).fit(ds.X, ds.y)
+        loss = HistogramGBDTTrainer(p, max_bins=16, grow_policy="lossguide").fit(ds.X, ds.y)
+        assert np.allclose(depth.predict(ds.X), loss.predict(ds.X))
+        assert [t.n_leaves for t in depth.trees] == [t.n_leaves for t in loss.trees]
+
+    def test_max_leaves_cap_respected(self, susy_small):
+        ds = susy_small
+        p = GBDTParams(n_trees=2, max_depth=6)
+        model = HistogramGBDTTrainer(
+            p, max_bins=16, grow_policy="lossguide", max_leaves=5
+        ).fit(ds.X, ds.y)
+        assert all(t.n_leaves <= 5 for t in model.trees)
+
+    def test_best_first_order_splits_largest_gain_first(self, susy_small):
+        """The leaf cap keeps the highest-gain subtrees: with k leaves, the
+        kept internal nodes are the k-1 largest gains the unbounded tree
+        would realize along the frontier."""
+        ds = susy_small
+        p = GBDTParams(n_trees=1, max_depth=6)
+        capped = HistogramGBDTTrainer(
+            p, max_bins=16, grow_policy="lossguide", max_leaves=4
+        ).fit(ds.X, ds.y)
+        t = capped.trees[0]
+        assert t.n_leaves == 4
+        # root must hold the single largest gain of its frontier
+        gains = [t.gain[i] for i in range(t.n_nodes) if not t.is_leaf(i)]
+        assert t.gain[0] == max(gains)
+
+    def test_depth_still_bounds_lossguide(self, susy_small):
+        ds = susy_small
+        p = GBDTParams(n_trees=2, max_depth=2)
+        model = HistogramGBDTTrainer(
+            p, max_bins=16, grow_policy="lossguide", max_leaves=64
+        ).fit(ds.X, ds.y)
+        assert all(t.max_depth() <= 2 for t in model.trees)
+
+    def test_smartgd_consistency_lossguide(self, susy_small):
+        """yhat bookkeeping stays exact under best-first growth: boosting
+        reduces training error monotonically enough."""
+        ds = susy_small
+        model = HistogramGBDTTrainer(
+            GBDTParams(n_trees=8, max_depth=4), max_bins=16,
+            grow_policy="lossguide", max_leaves=8,
+        ).fit(ds.X, ds.y)
+        hist = model.eval_history(ds.X, ds.y)
+        assert hist[-1] < hist[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HistogramGBDTTrainer(grow_policy="breadthfirst")
+        with pytest.raises(ValueError):
+            HistogramGBDTTrainer(max_leaves=-1)

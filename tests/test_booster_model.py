@@ -1,0 +1,59 @@
+"""Tests for GBDTModel: prediction composition, staging, serialization."""
+
+import numpy as np
+import pytest
+
+from repro import GBDTParams, GPUGBDTTrainer, models_equal
+from repro.core.booster_model import GBDTModel
+from repro.core.tree import DecisionTree
+
+
+def leaf_tree(v):
+    t = DecisionTree()
+    t.add_root()
+    t.set_leaf(0, v)
+    return t
+
+
+class TestPrediction:
+    def test_sum_of_trees_plus_base(self):
+        m = GBDTModel(trees=[leaf_tree(1.0), leaf_tree(0.5)], params=GBDTParams(), base_score=0.25)
+        out = m.predict(np.zeros((3, 1)))
+        assert np.allclose(out, 1.75)
+
+    def test_n_trees_prefix(self):
+        m = GBDTModel(trees=[leaf_tree(1.0), leaf_tree(2.0)], params=GBDTParams())
+        assert m.predict(np.zeros((1, 1)), n_trees=1)[0] == 1.0
+        assert m.predict(np.zeros((1, 1)), n_trees=0)[0] == 0.0
+
+    def test_staged_predict_cumulative(self):
+        m = GBDTModel(trees=[leaf_tree(1.0), leaf_tree(2.0), leaf_tree(4.0)], params=GBDTParams())
+        staged = m.staged_predict(np.zeros((2, 1)))
+        assert staged.shape == (3, 2)
+        assert np.allclose(staged[:, 0], [1.0, 3.0, 7.0])
+
+    def test_transform_logistic(self):
+        m = GBDTModel(trees=[leaf_tree(0.0)], params=GBDTParams(loss="logistic"))
+        out = m.predict(np.zeros((1, 1)), transform=True)
+        assert out[0] == pytest.approx(0.5)
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, covtype_small):
+        ds = covtype_small
+        model = GPUGBDTTrainer(GBDTParams(n_trees=3, max_depth=3)).fit(ds.X, ds.y)
+        restored = GBDTModel.from_json(model.to_json(), params=model.params)
+        assert models_equal(model, restored)
+        assert np.allclose(model.predict(ds.X_test), restored.predict(ds.X_test))
+
+    def test_json_preserves_base_score(self):
+        m = GBDTModel(trees=[leaf_tree(1.0)], params=GBDTParams(), base_score=0.75)
+        r = GBDTModel.from_json(m.to_json())
+        assert r.base_score == 0.75
+
+    def test_json_is_text(self):
+        m = GBDTModel(trees=[leaf_tree(1.0)], params=GBDTParams())
+        import json
+
+        payload = json.loads(m.to_json())
+        assert "trees" in payload and len(payload["trees"]) == 1

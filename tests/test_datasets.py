@@ -1,0 +1,134 @@
+"""Tests for the Table-II synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import TABLE2_NAMES, TABLE2_SPECS, make_dataset, table1_example
+from repro.data.rle import measured_ratio
+from repro.data.sorted_columns import build_sorted_columns
+
+
+class TestSpecs:
+    def test_all_eight_datasets_present(self):
+        assert set(TABLE2_NAMES) == {
+            "covtype", "e2006", "higgs", "insurance", "log1p", "news20",
+            "real-sim", "susy",
+        }
+
+    def test_full_scale_cardinalities_match_libsvm(self):
+        assert TABLE2_SPECS["covtype"].n_full == 581_012
+        assert TABLE2_SPECS["covtype"].d_full == 54
+        assert TABLE2_SPECS["news20"].d_full == 1_355_191
+        assert TABLE2_SPECS["higgs"].n_full == 11_000_000
+
+    def test_task_types(self):
+        assert TABLE2_SPECS["susy"].task == "binary"
+        assert TABLE2_SPECS["e2006"].task == "regression"
+
+
+class TestGeneration:
+    def test_reproducible(self):
+        a = make_dataset("covtype", run_rows=100, seed=5)
+        b = make_dataset("covtype", run_rows=100, seed=5)
+        assert a.X == b.X
+        assert np.array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        a = make_dataset("covtype", run_rows=100, seed=5)
+        b = make_dataset("covtype", run_rows=100, seed=6)
+        assert not np.array_equal(a.y, b.y)
+
+    def test_train_test_split_sizes(self):
+        ds = make_dataset("susy", run_rows=200, test_fraction=0.25)
+        assert ds.X.n_rows == 150
+        assert ds.X_test.n_rows == 50
+        assert ds.y.size == 150 and ds.y_test.size == 50
+
+    def test_binary_targets_are_01(self):
+        ds = make_dataset("covtype", run_rows=120)
+        assert set(np.unique(ds.y)) <= {0.0, 1.0}
+
+    def test_regression_targets_standardized(self):
+        ds = make_dataset("e2006", run_rows=300, run_cols=50)
+        combined = np.concatenate([ds.y, ds.y_test])
+        assert abs(combined.mean()) < 0.2
+        assert 0.5 < combined.std() < 2.0
+
+    def test_no_empty_columns(self):
+        ds = make_dataset("news20", run_rows=150, run_cols=40)
+        csc = ds.X_test.to_csc()  # even the small split keeps shape
+        assert ds.X.n_cols == 40 and csc.n_cols == 40
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            make_dataset("mnist")
+
+    def test_run_rows_floor(self):
+        with pytest.raises(ValueError, match="at least 8"):
+            make_dataset("susy", run_rows=4)
+
+    def test_run_cols_clamped_to_full_dim(self):
+        ds = make_dataset("susy", run_rows=100, run_cols=10_000)
+        assert ds.X.n_cols == TABLE2_SPECS["susy"].d_full
+
+
+class TestStatisticalProfiles:
+    def test_dense_vs_sparse_density(self):
+        dense = make_dataset("susy", run_rows=200)
+        sparse = make_dataset("real-sim", run_rows=200, run_cols=100)
+        assert dense.X.density > 0.8
+        assert sparse.X.density < 0.1
+
+    def test_compressible_vs_incompressible(self):
+        """covtype/insurance repeat heavily; susy/higgs do not -- the
+        property the RLE policy keys on."""
+        for name, compressible in [("covtype", True), ("insurance", True),
+                                   ("susy", False), ("higgs", False)]:
+            ds = make_dataset(name, run_rows=300)
+            sc = build_sorted_columns(ds.X.to_csc())
+            ratio = measured_ratio(sc.values, sc.col_offsets)
+            if compressible:
+                assert ratio > 4.0, name
+            else:
+                assert ratio < 1.5, name
+
+    def test_targets_learnable(self):
+        """A depth-limited tree must be able to reduce error below the
+        majority baseline -- targets are functions of the features."""
+        from repro import GBDTParams, GradientBoostedTrees
+        from repro.metrics import error_rate
+
+        ds = make_dataset("susy", run_rows=300, seed=3)
+        model = GradientBoostedTrees(GBDTParams(n_trees=10, max_depth=4)).fit(ds.X, ds.y)
+        err = error_rate(ds.y_test, model.predict(ds.X_test))
+        assert err < 0.45  # clearly better than coin flip
+
+
+class TestScales:
+    def test_work_scale_reflects_full_nnz(self):
+        ds = make_dataset("covtype", run_rows=200)
+        assert ds.work_scale == pytest.approx(ds.spec.nnz_full / ds.X.nnz)
+
+    def test_seg_scale_reflects_dimension(self):
+        ds = make_dataset("news20", run_rows=100, run_cols=50)
+        assert ds.seg_scale == pytest.approx(1_355_191 / 50)
+
+    def test_row_scale(self):
+        ds = make_dataset("susy", run_rows=200, test_fraction=0.25)
+        assert ds.row_scale == pytest.approx(5_000_000 / 150)
+
+    def test_scales_at_least_one(self):
+        ds = make_dataset("covtype", run_rows=200)
+        assert ds.seg_scale >= 1.0 and ds.work_scale >= 1.0
+
+    def test_describe_mentions_full_shape(self):
+        ds = make_dataset("covtype", run_rows=200)
+        assert "581012" in ds.describe()
+
+
+class TestTable1Example:
+    def test_matches_paper(self):
+        X, y = table1_example()
+        assert X.shape == (4, 4)
+        assert X.nnz == 8
+        assert y.size == 4

@@ -1,0 +1,94 @@
+"""Tests for repro.gpusim.device specs."""
+
+import pytest
+
+from repro.gpusim.device import (
+    GIB,
+    TESLA_K20,
+    TESLA_P100,
+    TITAN_X_PASCAL,
+    XEON_E5_2640V4_X2,
+    CpuSpec,
+    DeviceSpec,
+)
+
+
+class TestDeviceSpec:
+    def test_titan_x_matches_paper_hardware(self):
+        """Section IV: Titan X Pascal with 12 GB of memory, $1,200."""
+        assert TITAN_X_PASCAL.global_mem_bytes == 12 * GIB
+        assert TITAN_X_PASCAL.price_usd == 1200.0
+        assert TITAN_X_PASCAL.total_cores == 3584  # 28 SMs x 128
+
+    def test_peak_gflops(self):
+        s = TITAN_X_PASCAL
+        assert s.peak_gflops == pytest.approx(s.total_cores * s.clock_ghz * 2)
+
+    def test_presets_are_distinct(self):
+        names = {TITAN_X_PASCAL.name, TESLA_P100.name, TESLA_K20.name}
+        assert len(names) == 3
+
+    def test_p100_has_more_bandwidth_than_k20(self):
+        """The paper reports near-sublinear scaling across K20/TitanX/P100."""
+        assert TESLA_P100.mem_bandwidth_gbs > TITAN_X_PASCAL.mem_bandwidth_gbs > TESLA_K20.mem_bandwidth_gbs
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad", sm_count=0, cores_per_sm=1, clock_ghz=1.0,
+                global_mem_bytes=1, mem_bandwidth_gbs=1, pcie_bandwidth_gbs=1,
+                kernel_launch_us=1, price_usd=1,
+            )
+
+    def test_invalid_irregular_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad", sm_count=1, cores_per_sm=1, clock_ghz=1.0,
+                global_mem_bytes=1, mem_bandwidth_gbs=1, pcie_bandwidth_gbs=1,
+                kernel_launch_us=1, price_usd=1, irregular_efficiency=0.0,
+            )
+
+    def test_describe_mentions_price(self):
+        assert "$1200" in TITAN_X_PASCAL.describe()
+
+
+class TestCpuSpec:
+    def test_paper_workstation(self):
+        """Section IV: two E5-2640v4 10-core CPUs, $1,878, 40 threads best."""
+        assert XEON_E5_2640V4_X2.cores == 20
+        assert XEON_E5_2640V4_X2.threads == 40
+        assert XEON_E5_2640V4_X2.price_usd == 1878.0
+
+    def test_effective_cores_single_thread(self):
+        assert XEON_E5_2640V4_X2.effective_cores(1) == 1.0
+
+    def test_effective_cores_monotonic(self):
+        s = XEON_E5_2640V4_X2
+        vals = [s.effective_cores(t) for t in (1, 2, 10, 20, 40)]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_smt_yield_beyond_physical_cores(self):
+        s = XEON_E5_2640V4_X2
+        assert s.effective_cores(40) < 40  # SMT is not free parallelism
+        assert s.effective_cores(40) > s.effective_cores(20)
+
+    def test_threads_clamped_to_hardware(self):
+        s = XEON_E5_2640V4_X2
+        assert s.effective_cores(80) == s.effective_cores(40)
+        assert s.effective_bandwidth(80) == s.effective_bandwidth(40)
+
+    def test_effective_bandwidth_saturates(self):
+        s = XEON_E5_2640V4_X2
+        assert s.effective_bandwidth(1) == pytest.approx(s.per_thread_bandwidth_gbs)
+        assert s.effective_bandwidth(40) == pytest.approx(s.mem_bandwidth_gbs)
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            XEON_E5_2640V4_X2.effective_cores(0)
+
+    def test_threads_below_cores_rejected(self):
+        with pytest.raises(ValueError):
+            CpuSpec(
+                name="bad", cores=8, threads=4, clock_ghz=2.0, flops_per_cycle=4,
+                mem_bandwidth_gbs=50, per_thread_bandwidth_gbs=10, price_usd=100,
+            )

@@ -1,0 +1,101 @@
+"""Tests for the independent sequential reference trainer itself."""
+
+import numpy as np
+import pytest
+
+from repro import GBDTParams
+from repro.cpu.exact_greedy import ReferenceTrainer, _guarded_midpoint
+from repro.data import CSRMatrix, table1_example
+from repro.metrics import rmse
+
+
+class TestGuardedMidpoint:
+    def test_normal_midpoint(self):
+        assert _guarded_midpoint(2.0, 1.0) == 1.5
+
+    def test_adjacent_floats_stay_strictly_below_hi(self):
+        hi = 1.0
+        lo = np.nextafter(hi, -np.inf)
+        thr = _guarded_midpoint(hi, lo)
+        assert lo <= thr < hi  # hi > thr routes hi left, lo right
+
+    def test_huge_values(self):
+        hi, lo = 1e308, 1e307
+        thr = _guarded_midpoint(hi, lo)
+        assert lo <= thr < hi
+        assert np.isfinite(thr)
+
+
+class TestTraining:
+    def test_paper_example_learns(self):
+        X, y = table1_example()
+        model = ReferenceTrainer(GBDTParams(n_trees=5, max_depth=3, learning_rate=0.5)).fit(X, y)
+        assert rmse(y, model.predict(X)) < rmse(y, np.zeros(4))
+
+    def test_first_split_is_best_attribute(self):
+        """Hand-constructed data where attr 1 perfectly separates y."""
+        X = CSRMatrix.from_rows(
+            [
+                [(0, 5.0), (1, 1.0)],
+                [(0, 1.0), (1, 1.0)],
+                [(0, 4.0), (1, 9.0)],
+                [(0, 2.0), (1, 9.0)],
+            ],
+            n_cols=2,
+        )
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        model = ReferenceTrainer(GBDTParams(n_trees=1, max_depth=1)).fit(X, y)
+        t = model.trees[0]
+        assert t.attr[0] == 1
+        assert 1.0 < t.threshold[0] < 9.0
+
+    def test_pure_node_becomes_leaf(self):
+        X = CSRMatrix.from_rows([[(0, 1.0)], [(0, 2.0)], [(0, 3.0)]], n_cols=1)
+        y = np.array([1.0, 1.0, 1.0])  # nothing to gain by splitting
+        model = ReferenceTrainer(GBDTParams(n_trees=1, max_depth=3)).fit(X, y)
+        assert model.trees[0].n_nodes == 1
+
+    def test_leaf_weight_formula(self):
+        """-eta * G / (H + lambda) with g = 2(yhat - y), h = 2."""
+        X = CSRMatrix.from_rows([[(0, 1.0)], [(0, 1.0)]], n_cols=1)
+        y = np.array([1.0, 1.0])
+        p = GBDTParams(n_trees=1, max_depth=2, learning_rate=1.0, lambda_=1.0)
+        model = ReferenceTrainer(p).fit(X, y)
+        # G = -4, H = 4 -> w = 4/5
+        assert model.trees[0].value[0] == pytest.approx(0.8)
+
+    def test_missing_instances_follow_default(self):
+        X = CSRMatrix.from_rows(
+            [[(0, 3.0)], [(0, 2.0)], [], []], n_cols=1
+        )
+        y = np.array([1.0, 1.0, 0.0, 0.0])
+        model = ReferenceTrainer(GBDTParams(n_trees=1, max_depth=1, learning_rate=1.0)).fit(X, y)
+        t = model.trees[0]
+        assert t.n_nodes == 3
+        # missing rows (value-less) and present rows get separated
+        pred = model.predict(X)
+        assert pred[0] == pred[1]
+        assert pred[2] == pred[3]
+        assert pred[0] != pred[2]
+
+    def test_depth_zero_never_happens(self):
+        X, y = table1_example()
+        model = ReferenceTrainer(GBDTParams(n_trees=1, max_depth=1)).fit(X, y)
+        assert model.trees[0].max_depth() <= 1
+
+    def test_y_size_mismatch(self):
+        X, y = table1_example()
+        with pytest.raises(ValueError):
+            ReferenceTrainer(GBDTParams(n_trees=1)).fit(X, y[:1])
+
+    def test_multiple_trees_reduce_rmse_monotonically_enough(self):
+        rng = np.random.default_rng(0)
+        from tests.conftest import random_csr
+
+        X = random_csr(rng, 60, 4, density=0.8)
+        y = rng.normal(size=60)
+        p = GBDTParams(n_trees=8, max_depth=3)
+        model = ReferenceTrainer(p).fit(X, y)
+        staged = model.staged_predict(X)
+        errs = [rmse(y, staged[t]) for t in range(8)]
+        assert errs[-1] < errs[0]

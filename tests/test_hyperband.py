@@ -1,0 +1,95 @@
+"""Tests for the time-budget hyper-parameter search (case study iii)."""
+
+import pytest
+
+from repro import GBDTParams
+from repro.data import make_dataset
+from repro.ext.hyperband import SearchConfig, TimeBudgetSearch, paper_search_grid
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_dataset("insurance", run_rows=200, seed=21)
+
+
+class TestGrid:
+    def test_paper_grid_has_144_configs(self):
+        """T in {500,1000,2000,4000} x d in {2,4,6,8} x gamma in {0,.1,.2}
+        x eta in {.2,.3,.4} -> 144 models (Section IV-E iii)."""
+        grid = paper_search_grid()
+        assert len(grid) == 144
+        assert {c.n_trees for c in grid} == {500, 1000, 2000, 4000}
+        assert {c.max_depth for c in grid} == {2, 4, 6, 8}
+
+    def test_quick_grid_is_small(self):
+        assert len(paper_search_grid(quick=True)) == 4
+
+    def test_config_to_params(self):
+        cfg = SearchConfig(n_trees=10, max_depth=3, gamma=0.1, learning_rate=0.2)
+        p = cfg.params(GBDTParams())
+        assert (p.n_trees, p.max_depth, p.gamma, p.learning_rate) == (10, 3, 0.1, 0.2)
+
+
+class TestEstimate:
+    def test_estimate_totals(self, ds):
+        grid = [
+            SearchConfig(4, 2, 0.0, 0.3),
+            SearchConfig(8, 2, 0.0, 0.3),
+            SearchConfig(4, 4, 0.0, 0.3),
+        ]
+        search = TimeBudgetSearch(ds, grid, probe_trees=2)
+        summary = search.estimate()
+        assert summary.n_configs == 3
+        assert summary.gpu_seconds_total > 0
+        assert summary.cpu_seconds_total > summary.gpu_seconds_total
+        # totals are per-tree rates times tree counts
+        d2 = summary.per_depth_gpu_tree_seconds[2]
+        d4 = summary.per_depth_gpu_tree_seconds[4]
+        assert summary.gpu_seconds_total == pytest.approx(4 * d2 + 8 * d2 + 4 * d4)
+
+    def test_deeper_trees_cost_more(self, ds):
+        search = TimeBudgetSearch(
+            ds, [SearchConfig(4, 2, 0.0, 0.3), SearchConfig(4, 6, 0.0, 0.3)]
+        )
+        summary = search.estimate()
+        assert (
+            summary.per_depth_gpu_tree_seconds[6]
+            > summary.per_depth_gpu_tree_seconds[2]
+        )
+
+    def test_empty_grid_rejected(self, ds):
+        with pytest.raises(ValueError):
+            TimeBudgetSearch(ds, [])
+
+
+class TestBudgetedRun:
+    def test_budget_limits_configs(self, ds):
+        grid = [SearchConfig(2, 2, 0.0, 0.3) for _ in range(5)]
+        search = TimeBudgetSearch(ds, grid)
+        run = search.run_within_budget(budget_seconds=1e-9)
+        assert run.configs_trained == 1  # at least one always runs
+        assert run.best_config is grid[0]
+
+    def test_large_budget_trains_all(self, ds):
+        grid = [
+            SearchConfig(2, 2, 0.0, 0.3),
+            SearchConfig(4, 3, 0.0, 0.3),
+        ]
+        run = TimeBudgetSearch(ds, grid).run_within_budget(budget_seconds=1e9)
+        assert run.configs_trained == 2
+        assert run.best_rmse > 0
+        assert run.seconds_spent > 0
+
+    def test_best_by_holdout_rmse(self, ds):
+        """With a generous budget, the returned config is the argmin of
+        held-out RMSE among those trained."""
+        from repro.bench.harness import run_gpu_gbdt
+        from repro.metrics import rmse
+
+        grid = [SearchConfig(1, 1, 0.0, 0.2), SearchConfig(8, 4, 0.0, 0.3)]
+        run = TimeBudgetSearch(ds, grid).run_within_budget(budget_seconds=1e9)
+        errs = []
+        for cfg in grid:
+            res = run_gpu_gbdt(ds, cfg.params())
+            errs.append(rmse(ds.y_test, res.model.predict(ds.X_test)))
+        assert run.best_config == grid[int(errs.index(min(errs)))]

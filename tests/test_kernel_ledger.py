@@ -1,0 +1,129 @@
+"""Tests for repro.gpusim.kernel: Work, launches, transfers, scaling."""
+
+import pytest
+
+from repro.gpusim import GpuDevice, TITAN_X_PASCAL, Work
+from repro.gpusim.kernel import KernelLaunch, Transfer
+
+
+class TestWork:
+    def test_totals(self):
+        w = Work(elements=100, flops_per_element=2.0, coalesced_bytes=800, irregular_bytes=200)
+        assert w.total_flops == 200
+        assert w.total_bytes == 1000
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Work(elements=-1)
+
+
+class TestLaunchRecording:
+    def test_launch_appends_to_ledger(self):
+        d = GpuDevice(TITAN_X_PASCAL)
+        d.launch("k", elements=1000, coalesced_bytes=8000)
+        assert len(d.ledger.kernels) == 1
+        assert d.ledger.kernels[0].name == "k"
+
+    def test_default_grid_from_elements(self):
+        d = GpuDevice(TITAN_X_PASCAL)
+        k = d.launch("k", elements=1000, threads_per_block=256)
+        assert k.blocks == 4  # ceil(1000/256)
+
+    def test_work_scale_multiplies_elements_and_bytes(self):
+        d = GpuDevice(TITAN_X_PASCAL, work_scale=10.0)
+        k = d.launch("k", elements=100, coalesced_bytes=800, irregular_bytes=80)
+        assert k.work.elements == 1000
+        assert k.work.coalesced_bytes == 8000
+        assert k.work.irregular_bytes == 800
+
+    def test_scale_false_bypasses_work_scale(self):
+        d = GpuDevice(TITAN_X_PASCAL, work_scale=10.0)
+        k = d.launch("k", elements=100, scale=False)
+        assert k.work.elements == 100
+
+    def test_grid_follows_scaled_elements(self):
+        d = GpuDevice(TITAN_X_PASCAL, work_scale=10.0)
+        k = d.launch("k", elements=100, threads_per_block=256)
+        assert k.blocks == 4  # ceil(1000/256)
+
+    def test_explicit_blocks_respected(self):
+        d = GpuDevice(TITAN_X_PASCAL)
+        k = d.launch("k", elements=10, blocks=77)
+        assert k.blocks == 77
+
+    def test_blocks_scale_uses_seg_scale(self):
+        d = GpuDevice(TITAN_X_PASCAL, seg_scale=5.0)
+        k = d.launch("k", elements=10, blocks=100, blocks_scale=True)
+        assert k.blocks == 500
+
+    def test_launches_counted(self):
+        d = GpuDevice(TITAN_X_PASCAL)
+        d.launch("k", elements=10, launches=3)
+        d.launch("k2", elements=10)
+        assert d.ledger.n_launches == 4
+
+    def test_invalid_scales_rejected(self):
+        with pytest.raises(ValueError):
+            GpuDevice(TITAN_X_PASCAL, work_scale=0)
+
+
+class TestPhases:
+    def test_phase_tagging(self):
+        d = GpuDevice(TITAN_X_PASCAL)
+        with d.phase("find_split"):
+            d.launch("a", elements=1)
+            with d.phase("inner"):
+                d.launch("b", elements=1)
+        d.launch("c", elements=1)
+        phases = [k.phase for k in d.ledger.kernels]
+        assert phases == ["find_split", "inner", "unphased"]
+
+    def test_ledger_phase_order(self):
+        d = GpuDevice(TITAN_X_PASCAL)
+        with d.phase("z"):
+            d.launch("a", elements=1)
+        with d.phase("a"):
+            d.launch("b", elements=1)
+        assert d.ledger.phases() == ["z", "a"]
+
+
+class TestTransfers:
+    def test_transfer_scaled(self):
+        d = GpuDevice(TITAN_X_PASCAL, work_scale=4.0)
+        t = d.transfer("up", 100)
+        assert t.nbytes == 400
+        assert t.direction == "h2d"
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            Transfer(name="x", nbytes=1, direction="sideways", phase="p")
+
+    def test_transfer_bytes_aggregated(self):
+        d = GpuDevice(TITAN_X_PASCAL)
+        d.transfer("a", 100)
+        d.transfer("b", 50, direction="d2h")
+        assert d.ledger.transfer_bytes == 150
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        d = GpuDevice(TITAN_X_PASCAL)
+        d.launch("k", elements=10)
+        d.memory.alloc("buf", 1024)
+        d.reset()
+        assert len(d.ledger.kernels) == 0
+        assert d.memory.in_use_bytes == 0
+
+    def test_elapsed_positive_after_launch(self):
+        d = GpuDevice(TITAN_X_PASCAL)
+        d.launch("k", elements=1_000_000, coalesced_bytes=8_000_000)
+        assert d.elapsed_seconds() > 0
+
+
+class TestKernelLaunchValidation:
+    def test_zero_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            KernelLaunch(
+                name="k", work=Work(elements=1), blocks=0,
+                threads_per_block=1, launches=1, phase="p",
+            )

@@ -1,0 +1,119 @@
+"""Tests for the LibSVM reader/writer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import dumps_libsvm, loads_libsvm, table1_example
+from repro.data.libsvm import dump_libsvm, load_libsvm
+
+
+SAMPLE = """\
+1 1:1.5 3:2.0
+-1 2:0.5
+0.5
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        X, y = loads_libsvm(SAMPLE)
+        assert X.shape == (3, 3)
+        assert list(y) == [1.0, -1.0, 0.5]
+        assert X.get(0, 0) == 1.5  # 1-based index 1 -> column 0
+        assert X.get(0, 2) == 2.0
+        assert X.get(1, 1) == 0.5
+
+    def test_empty_row_allowed(self):
+        X, y = loads_libsvm("2.5\n")
+        assert X.n_rows == 1 and X.nnz == 0
+
+    def test_comments_and_blank_lines(self):
+        X, y = loads_libsvm("# header\n1 1:2.0  # trailing\n\n")
+        assert X.n_rows == 1
+        assert X.get(0, 0) == 2.0
+
+    def test_zero_based(self):
+        X, _ = loads_libsvm("1 0:3.0\n", zero_based=True)
+        assert X.get(0, 0) == 3.0
+
+    def test_unsorted_features_sorted(self):
+        X, _ = loads_libsvm("1 3:3.0 1:1.0\n")
+        cols, vals = X.row(0)
+        assert list(cols) == [0, 2]
+
+    def test_bad_label(self):
+        with pytest.raises(ValueError, match="bad label"):
+            loads_libsvm("abc 1:1\n")
+
+    def test_bad_token(self):
+        with pytest.raises(ValueError, match="bad feature token"):
+            loads_libsvm("1 nonsense\n")
+
+    def test_index_below_base(self):
+        with pytest.raises(ValueError, match="below"):
+            loads_libsvm("1 0:1.0\n")  # 1-based file with index 0
+
+    def test_explicit_ncols(self):
+        X, _ = loads_libsvm("1 1:1.0\n", n_cols=10)
+        assert X.n_cols == 10
+
+    def test_ncols_too_small(self):
+        with pytest.raises(ValueError, match="n_cols"):
+            loads_libsvm("1 5:1.0\n", n_cols=2)
+
+
+class TestDump:
+    def test_roundtrip_table1(self):
+        X, y = table1_example()
+        X2, y2 = loads_libsvm(dumps_libsvm(X, y), n_cols=4)
+        assert X2 == X
+        assert np.array_equal(y, y2)
+
+    def test_zero_based_roundtrip(self):
+        X, y = table1_example()
+        X2, _ = loads_libsvm(dumps_libsvm(X, y, zero_based=True), n_cols=4, zero_based=True)
+        assert X2 == X
+
+    def test_label_count_mismatch(self):
+        X, y = table1_example()
+        with pytest.raises(ValueError, match="label count"):
+            dumps_libsvm(X, y[:2])
+
+    def test_empty_matrix(self):
+        from repro.data import CSRMatrix
+
+        X = CSRMatrix(np.array([0]), np.array([], dtype=np.int64), np.array([]), n_cols=0)
+        assert dumps_libsvm(X, np.array([])) == ""
+
+
+class TestFileIO:
+    def test_file_roundtrip(self, tmp_path):
+        X, y = table1_example()
+        path = tmp_path / "data.libsvm"
+        dump_libsvm(path, X, y)
+        X2, y2 = load_libsvm(path, n_cols=4)
+        assert X2 == X
+        assert np.array_equal(y, y2)
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_libsvm_roundtrip_property(data):
+    """dump . load == identity for arbitrary sparse matrices and labels."""
+    n = data.draw(st.integers(0, 8))
+    d = data.draw(st.integers(1, 6))
+    rows = []
+    for _ in range(n):
+        cols = sorted(data.draw(st.sets(st.integers(0, d - 1), max_size=d)))
+        rows.append(
+            [(c, data.draw(st.floats(-100, 100, allow_nan=False, width=32)) or 1.0)
+             for c in cols]
+        )
+    from repro.data import CSRMatrix
+
+    X = CSRMatrix.from_rows(rows, n_cols=d)
+    y = np.array([data.draw(st.floats(-10, 10, allow_nan=False, width=32)) for _ in range(n)])
+    X2, y2 = loads_libsvm(dumps_libsvm(X, y), n_cols=d)
+    assert X2 == X
+    assert np.allclose(y, y2)

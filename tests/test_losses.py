@@ -1,0 +1,122 @@
+"""Tests for repro.losses: derivative correctness, shapes, registry."""
+
+import numpy as np
+import pytest
+
+from repro.losses import CustomLoss, LogisticLoss, SquaredErrorLoss, get_loss
+
+
+class TestSquaredError:
+    def test_gradients_match_paper_formula(self):
+        """Section III-B: g = 2(yhat - y), h = 2 for MSE."""
+        loss = SquaredErrorLoss()
+        y = np.array([1.0, 0.0, 2.0])
+        yhat = np.array([0.5, 0.5, 2.0])
+        g, h = loss.gradients(y, yhat)
+        assert np.allclose(g, [-1.0, 1.0, 0.0])
+        assert np.allclose(h, [2.0, 2.0, 2.0])
+
+    def test_gradients_match_numerical_derivative(self):
+        loss = SquaredErrorLoss()
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=50)
+        yhat = rng.normal(size=50)
+        g, h = loss.gradients(y, yhat)
+        eps = 1e-6
+        num_g = ((yhat + eps - y) ** 2 - (yhat - eps - y) ** 2) / (2 * eps)
+        assert np.allclose(g, num_g, atol=1e-5)
+
+    def test_value_is_mean_squared_error(self):
+        loss = SquaredErrorLoss()
+        assert loss.value(np.array([1.0, 3.0]), np.array([0.0, 1.0])) == pytest.approx(2.5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            SquaredErrorLoss().gradients(np.zeros(3), np.zeros(4))
+
+    def test_base_score_zero(self):
+        assert SquaredErrorLoss().base_score(np.array([5.0, 6.0])) == 0.0
+
+    def test_transform_identity(self):
+        x = np.array([-1.0, 0.0, 3.0])
+        assert np.array_equal(SquaredErrorLoss().transform(x), x)
+
+
+class TestLogistic:
+    def test_gradients_at_zero_margin(self):
+        loss = LogisticLoss()
+        g, h = loss.gradients(np.array([1.0, 0.0]), np.array([0.0, 0.0]))
+        assert np.allclose(g, [-0.5, 0.5])
+        assert np.allclose(h, [0.25, 0.25])
+
+    def test_gradients_match_numerical_derivative(self):
+        loss = LogisticLoss()
+        rng = np.random.default_rng(1)
+        y = (rng.random(40) > 0.5).astype(float)
+        yhat = rng.normal(scale=2.0, size=40)
+        g, h = loss.gradients(y, yhat)
+        eps = 1e-5
+
+        def val(m):
+            p = 1 / (1 + np.exp(-m))
+            p = np.clip(p, 1e-15, 1 - 1e-15)
+            return -(y * np.log(p) + (1 - y) * np.log(1 - p))
+
+        num_g = (val(yhat + eps) - val(yhat - eps)) / (2 * eps)
+        assert np.allclose(g, num_g, atol=1e-4)
+
+    def test_extreme_margins_are_stable(self):
+        loss = LogisticLoss()
+        g, h = loss.gradients(np.array([1.0, 0.0]), np.array([500.0, -500.0]))
+        assert np.all(np.isfinite(g)) and np.all(np.isfinite(h))
+        assert np.all(h > 0)
+
+    def test_transform_is_sigmoid(self):
+        out = LogisticLoss().transform(np.array([0.0]))
+        assert out[0] == pytest.approx(0.5)
+
+    def test_value_positive(self):
+        loss = LogisticLoss()
+        assert loss.value(np.array([1.0, 0.0]), np.array([0.0, 0.0])) > 0
+
+
+class TestCustomLoss:
+    def test_wraps_callables(self):
+        loss = CustomLoss(grad_fn=lambda y, p: (p - y, np.ones_like(y)))
+        g, h = loss.gradients(np.array([1.0]), np.array([3.0]))
+        assert g[0] == 2.0 and h[0] == 1.0
+
+    def test_requires_grad_fn(self):
+        with pytest.raises(ValueError, match="grad_fn"):
+            CustomLoss()
+
+    def test_bad_shapes_from_grad_fn_raise(self):
+        loss = CustomLoss(grad_fn=lambda y, p: (np.zeros(1), np.zeros(1)))
+        with pytest.raises(ValueError, match="shaped like y"):
+            loss.gradients(np.zeros(3), np.zeros(3))
+
+    def test_value_fn_used(self):
+        loss = CustomLoss(
+            grad_fn=lambda y, p: (p - y, np.ones_like(y)),
+            value_fn=lambda y, p: 42.0,
+        )
+        assert loss.value(np.zeros(2), np.zeros(2)) == 42.0
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,cls", [
+        ("squared_error", SquaredErrorLoss),
+        ("mse", SquaredErrorLoss),
+        ("logistic", LogisticLoss),
+        ("binary:logistic", LogisticLoss),
+    ])
+    def test_lookup(self, name, cls):
+        assert isinstance(get_loss(name), cls)
+
+    def test_instance_passthrough(self):
+        loss = SquaredErrorLoss()
+        assert get_loss(loss) is loss
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown loss"):
+            get_loss("hinge")

@@ -1,0 +1,93 @@
+"""Tests for repro.gpusim.memory (device global-memory accounting)."""
+
+import pytest
+
+from repro.gpusim.memory import DeviceOutOfMemory, GlobalMemory
+
+
+@pytest.fixture
+def mem() -> GlobalMemory:
+    return GlobalMemory(capacity_bytes=1000)
+
+
+class TestAlloc:
+    def test_basic_alloc(self, mem):
+        mem.alloc("a", 400)
+        assert mem.in_use_bytes == 400
+        assert mem.free_bytes == 600
+
+    def test_oom_raises_and_rolls_back(self, mem):
+        mem.alloc("a", 800)
+        with pytest.raises(DeviceOutOfMemory):
+            mem.alloc("b", 300)
+        assert mem.in_use_bytes == 800  # failed request not recorded
+        assert "b" not in mem.live_allocations()
+        assert mem.oom_count == 1
+
+    def test_exact_fit_succeeds(self, mem):
+        mem.alloc("a", 1000)
+        assert mem.free_bytes == 0
+
+    def test_realloc_same_name_resizes(self, mem):
+        mem.alloc("a", 400)
+        mem.alloc("a", 700)  # resize, not 400+700
+        assert mem.in_use_bytes == 700
+
+    def test_realloc_can_shrink(self, mem):
+        mem.alloc("a", 900)
+        mem.alloc("a", 100)
+        assert mem.in_use_bytes == 100
+        mem.alloc("b", 800)  # now fits
+
+    def test_negative_alloc_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.alloc("a", -1)
+
+    def test_float_sizes_truncate(self, mem):
+        mem.alloc("a", 10.9)
+        assert mem.live_allocations()["a"] == 10
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalMemory(0)
+
+
+class TestFree:
+    def test_free_releases(self, mem):
+        mem.alloc("a", 500)
+        mem.free("a")
+        assert mem.in_use_bytes == 0
+
+    def test_free_unknown_raises(self, mem):
+        with pytest.raises(KeyError):
+            mem.free("nope")
+
+    def test_free_all(self, mem):
+        mem.alloc("a", 100)
+        mem.alloc("b", 100)
+        mem.free_all()
+        assert mem.in_use_bytes == 0
+        assert mem.live_allocations() == {}
+
+
+class TestPeak:
+    def test_peak_tracks_high_water(self, mem):
+        mem.alloc("a", 600)
+        mem.free("a")
+        mem.alloc("b", 100)
+        assert mem.peak_bytes == 600
+        assert mem.in_use_bytes == 100
+
+    def test_would_fit(self, mem):
+        mem.alloc("a", 900)
+        assert mem.would_fit(100)
+        assert not mem.would_fit(101)
+
+
+class TestReport:
+    def test_report_lists_largest_first(self, mem):
+        mem.alloc("small", 10)
+        mem.alloc("big", 500)
+        lines = mem.report().splitlines()
+        assert "big" in lines[1]
+        assert "small" in lines[2]

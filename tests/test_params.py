@@ -1,0 +1,77 @@
+"""Tests for GBDTParams validation and ablation helpers."""
+
+import pytest
+
+from repro import GBDTParams
+from repro.losses import LogisticLoss, SquaredErrorLoss
+
+
+class TestDefaults:
+    def test_paper_experimental_setting(self):
+        """Section IV-A: depth 6, 40 trees, MSE, exact splits."""
+        p = GBDTParams()
+        assert p.n_trees == 40
+        assert p.max_depth == 6
+        assert isinstance(p.loss_fn, SquaredErrorLoss)
+
+    def test_all_optimizations_on_by_default(self):
+        p = GBDTParams()
+        assert p.use_rle and p.use_direct_rle and p.use_smartgd
+        assert p.use_custom_setkey and p.use_custom_workload
+        assert p.ablation_name() == "full"
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kw", [
+        {"n_trees": 0},
+        {"max_depth": 0},
+        {"gamma": -0.1},
+        {"lambda_": -1.0},
+        {"learning_rate": 0.0},
+        {"learning_rate": 1.5},
+        {"rle_policy": "maybe"},
+        {"setkey_c": 0},
+        {"max_counter_mem_bytes": 10},
+        {"fixed_thread_workload": 0},
+    ])
+    def test_rejects_bad_values(self, kw):
+        with pytest.raises(ValueError):
+            GBDTParams(**kw)
+
+    def test_loss_resolved_eagerly(self):
+        with pytest.raises(ValueError, match="unknown loss"):
+            GBDTParams(loss="nope")
+
+    def test_loss_by_name(self):
+        assert isinstance(GBDTParams(loss="logistic").loss_fn, LogisticLoss)
+
+
+class TestReplace:
+    def test_replace_returns_new_object(self):
+        p = GBDTParams()
+        q = p.replace(n_trees=7)
+        assert q.n_trees == 7 and p.n_trees == 40
+
+    def test_replace_revalidates(self):
+        with pytest.raises(ValueError):
+            GBDTParams().replace(max_depth=-1)
+
+
+class TestAblationNames:
+    @pytest.mark.parametrize("kw,expect", [
+        ({"use_custom_setkey": False}, "no-SetKey"),
+        ({"use_custom_workload": False}, "no-IdxCompWorkload"),
+        ({"use_rle": False}, "no-RLE"),
+        ({"use_smartgd": False}, "no-SmartGD"),
+        ({"use_direct_rle": False}, "no-DirectSplitRLE"),
+    ])
+    def test_single_ablations(self, kw, expect):
+        assert GBDTParams(**kw).ablation_name() == expect
+
+    def test_direct_rle_irrelevant_without_rle(self):
+        p = GBDTParams(use_rle=False, use_direct_rle=False)
+        assert p.ablation_name() == "no-RLE"
+
+    def test_combined(self):
+        p = GBDTParams(use_rle=False, use_smartgd=False)
+        assert p.ablation_name() == "no-RLE+no-SmartGD"

@@ -1,0 +1,72 @@
+"""Tests for the Section III-D prediction kernel."""
+
+import numpy as np
+import pytest
+
+from repro import GBDTParams, GPUGBDTTrainer, GpuDevice, TITAN_X_PASCAL
+from repro.core.predictor import predict_on_device
+
+
+@pytest.fixture
+def trained(susy_small):
+    ds = susy_small
+    model = GPUGBDTTrainer(GBDTParams(n_trees=4, max_depth=4)).fit(ds.X, ds.y)
+    return ds, model
+
+
+class TestFunctional:
+    def test_matches_host_prediction(self, trained):
+        ds, model = trained
+        d = GpuDevice(TITAN_X_PASCAL)
+        out = predict_on_device(d, model, ds.X_test)
+        assert np.allclose(out, model.predict(ds.X_test))
+
+    def test_transform_applied(self, trained):
+        ds, model = trained
+        d = GpuDevice(TITAN_X_PASCAL)
+        raw = predict_on_device(d, model, ds.X_test)
+        tr = predict_on_device(GpuDevice(TITAN_X_PASCAL), model, ds.X_test, transform=True)
+        # squared-error transform is identity
+        assert np.allclose(raw, tr)
+
+
+class TestCostShape:
+    def test_instance_x_tree_parallelism_recorded(self, trained):
+        """One thread per (instance, tree): elements = n * T."""
+        ds, model = trained
+        d = GpuDevice(TITAN_X_PASCAL)
+        predict_on_device(d, model, ds.X_test)
+        k = next(k for k in d.ledger.kernels if k.name == "predict_instance_x_tree")
+        assert k.work.elements == ds.X_test.n_rows * model.n_trees
+
+    def test_reduction_and_download_recorded(self, trained):
+        ds, model = trained
+        d = GpuDevice(TITAN_X_PASCAL)
+        predict_on_device(d, model, ds.X_test)
+        names = {k.name for k in d.ledger.kernels}
+        assert "reduce_partial_predictions" in names
+        assert any(t.direction == "d2h" for t in d.ledger.transfers)
+
+    def test_row_scale_amplifies(self, trained):
+        ds, model = trained
+        d1 = GpuDevice(TITAN_X_PASCAL)
+        predict_on_device(d1, model, ds.X_test)
+        d2 = GpuDevice(TITAN_X_PASCAL)
+        predict_on_device(d2, model, ds.X_test, row_scale=100.0)
+        assert d2.elapsed_seconds() > d1.elapsed_seconds()
+
+    def test_more_trees_cost_more(self, susy_small):
+        ds = susy_small
+        small = GPUGBDTTrainer(GBDTParams(n_trees=2, max_depth=3)).fit(ds.X, ds.y)
+        big = GPUGBDTTrainer(GBDTParams(n_trees=8, max_depth=3)).fit(ds.X, ds.y)
+        d1, d2 = GpuDevice(TITAN_X_PASCAL), GpuDevice(TITAN_X_PASCAL)
+        predict_on_device(d1, small, ds.X_test, row_scale=1000.0)
+        predict_on_device(d2, big, ds.X_test, row_scale=1000.0)
+        assert d2.elapsed_seconds() > d1.elapsed_seconds()
+
+    def test_ndarray_input(self, trained):
+        ds, model = trained
+        d = GpuDevice(TITAN_X_PASCAL)
+        dense = ds.X_test.to_dense(fill=np.nan).values
+        out = predict_on_device(d, model, dense)
+        assert np.allclose(out, model.predict(ds.X_test))

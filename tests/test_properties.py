@@ -1,0 +1,126 @@
+"""Cross-cutting hypothesis property tests on end-to-end training.
+
+These drive the whole trainer with randomized datasets and check the
+structural invariants DESIGN.md Section 5 lists.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import GBDTParams, GPUGBDTTrainer, models_equal
+from repro.cpu.exact_greedy import ReferenceTrainer
+from repro.data import CSRMatrix
+from tests.conftest import random_csr
+
+SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def training_problem(draw):
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    n = draw(st.integers(12, 60))
+    d = draw(st.integers(1, 6))
+    density = draw(st.floats(0.3, 1.0))
+    levels = draw(st.sampled_from([0, 2, 3, 5]))
+    X = random_csr(rng, n, d, density=density, levels=levels)
+    binary = draw(st.booleans())
+    if binary:
+        y = (rng.random(n) > 0.5).astype(np.float64)
+    else:
+        y = rng.normal(size=n)
+    return X, y, seed
+
+
+@given(training_problem(), st.booleans())
+@SETTINGS
+def test_gpu_matches_reference_on_random_problems(problem, use_rle):
+    """The headline invariant under random data: identical trees."""
+    X, y, _ = problem
+    p = GBDTParams(
+        n_trees=3, max_depth=3,
+        use_rle=use_rle, rle_policy="always" if use_rle else "never",
+    )
+    a = GPUGBDTTrainer(p).fit(X, y)
+    b = ReferenceTrainer(p).fit(X, y)
+    assert models_equal(a, b)
+
+
+@given(training_problem())
+@SETTINGS
+def test_instance_counts_partition(problem):
+    X, y, _ = problem
+    model = GPUGBDTTrainer(GBDTParams(n_trees=2, max_depth=4)).fit(X, y)
+    for t in model.trees:
+        for nid in range(t.n_nodes):
+            if not t.is_leaf(nid):
+                assert (
+                    t.n_instances[nid]
+                    == t.n_instances[t.left[nid]] + t.n_instances[t.right[nid]]
+                )
+
+
+@given(training_problem())
+@SETTINGS
+def test_training_predictions_match_tree_routing(problem):
+    """SmartGD's accumulated yhat == routing every instance through every
+    tree -- prediction consistency."""
+    X, y, _ = problem
+    trainer = GPUGBDTTrainer(GBDTParams(n_trees=3, max_depth=3))
+    model = trainer.fit(X, y)
+    direct = model.predict(X)
+    per_row = np.array(
+        [
+            sum(t.predict_row(*X.row(i)) for t in model.trees)
+            for i in range(X.n_rows)
+        ]
+    )
+    assert np.allclose(direct, per_row, atol=1e-12)
+
+
+@given(training_problem())
+@SETTINGS
+def test_split_gains_recorded_positive(problem):
+    X, y, _ = problem
+    model = GPUGBDTTrainer(GBDTParams(n_trees=2, max_depth=4)).fit(X, y)
+    for t in model.trees:
+        for nid in range(t.n_nodes):
+            if not t.is_leaf(nid):
+                assert t.gain[nid] > 0.0
+
+
+@given(training_problem())
+@SETTINGS
+def test_gamma_monotonically_prunes(problem):
+    X, y, _ = problem
+    sizes = []
+    for gamma in (0.0, 0.5, 5.0):
+        model = GPUGBDTTrainer(GBDTParams(n_trees=2, max_depth=4, gamma=gamma)).fit(X, y)
+        sizes.append(sum(t.n_nodes for t in model.trees))
+    assert sizes[0] >= sizes[1] >= sizes[2]
+
+
+@given(training_problem())
+@SETTINGS
+def test_constant_targets_yield_stumps(problem):
+    X, _, _ = problem
+    y = np.full(X.n_rows, 3.0)
+    model = GPUGBDTTrainer(GBDTParams(n_trees=2, max_depth=4)).fit(X, y)
+    assert all(t.n_nodes == 1 for t in model.trees)
+    # and the ensemble converges toward the constant
+    pred = model.predict(X)
+    assert np.all(np.abs(pred - 3.0) < 3.0)
+
+
+def test_duplicate_rows_share_leaves():
+    """Identical instances can never be separated by any split."""
+    X = CSRMatrix.from_rows([[(0, 1.0)], [(0, 1.0)], [(0, 5.0)]], n_cols=1)
+    y = np.array([0.0, 1.0, 1.0])
+    model = GPUGBDTTrainer(GBDTParams(n_trees=2, max_depth=4)).fit(X, y)
+    pred = model.predict(X)
+    assert pred[0] == pred[1]

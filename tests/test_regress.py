@@ -1,0 +1,136 @@
+"""Tests for the regression-tracking (save/compare) harness."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import SeriesResult
+from repro.bench.regress import Drift, compare_results, load_results, save_results, to_payload
+
+
+def series(vals):
+    return SeriesResult(
+        x_label="x", xs=[1, 2, 3], series={"s": list(vals)}, title="t"
+    )
+
+
+class TestPayload:
+    def test_series_result_serializes(self):
+        p = to_payload(series([1.0, 2.0, 3.0]))
+        assert p["series"]["s"] == [1.0, 2.0, 3.0]
+        assert p["xs"] == [1, 2, 3]
+
+    def test_numpy_values_converted(self):
+        p = to_payload(series(np.array([1.5, 2.5, 3.5])))
+        assert p["series"]["s"] == [1.5, 2.5, 3.5]
+        assert all(isinstance(v, float) for v in p["series"]["s"])
+
+    def test_non_serializable_attributes_dropped(self):
+        from repro.bench.experiments import Table2Result
+
+        rows = [{"dataset": "a", "ours": 1.0, "model_obj": object()}]
+        p = to_payload(Table2Result(rows=rows))
+        assert p["rows"][0] == {"dataset": "a", "ours": 1.0}
+
+    def test_table2_quick_payload_is_json(self):
+        from repro.bench.experiments import run_table2
+
+        res = run_table2(quick=True, names=("covtype",))
+        text = json.dumps(to_payload(res))
+        assert "covtype" in text
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_payload(42)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_results(path, {"exp": series([1.0, 2.0, 3.0])}, meta={"note": "x"})
+        doc = load_results(path)
+        assert doc["meta"]["note"] == "x"
+        assert "version" in doc["meta"]
+        assert doc["experiments"]["exp"]["series"]["s"] == [1.0, 2.0, 3.0]
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("{}", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_results(path)
+
+
+class TestCompare:
+    def _docs(self, old_vals, new_vals):
+        return (
+            {"experiments": {"e": to_payload(series(old_vals))}},
+            {"experiments": {"e": to_payload(series(new_vals))}},
+        )
+
+    def test_no_drift_when_identical(self):
+        old, new = self._docs([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert compare_results(old, new) == []
+
+    def test_small_drift_within_tolerance(self):
+        old, new = self._docs([1.0, 2.0, 3.0], [1.01, 2.0, 3.0])
+        assert compare_results(old, new, rtol=0.05) == []
+
+    def test_large_drift_reported_with_path(self):
+        old, new = self._docs([1.0, 2.0, 3.0], [2.0, 2.0, 3.0])
+        drifts = compare_results(old, new, rtol=0.05)
+        assert len(drifts) == 1
+        assert drifts[0].path == "e.series.s[0]"
+        assert "->" in str(drifts[0])
+
+    def test_missing_keys_ignored(self):
+        old = {"experiments": {"e": {"a": 1.0}}}
+        new = {"experiments": {"e": {"b": 1.0}}}
+        assert compare_results(old, new) == []
+
+    def test_bools_not_treated_as_numbers(self):
+        old = {"experiments": {"e": {"flag": True}}}
+        new = {"experiments": {"e": {"flag": False}}}
+        assert compare_results(old, new) == []
+
+    def test_rel_property(self):
+        d = Drift(path="p", old=1.0, new=1.5)
+        assert d.rel == pytest.approx(1 / 3)
+
+
+class TestCliIntegration:
+    def test_save_then_compare_clean(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "base.json"
+        assert main(["crossover", "--quick", "--save", str(path)]) == 0
+        assert main(["crossover", "--quick", "--compare", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "no drift" in out
+
+    def test_compare_flags_drift(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "base.json"
+        assert main(["crossover", "--quick", "--save", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        doc["experiments"]["crossover"]["series"]["GPU-GBDT (s)"][0] *= 10
+        path.write_text(json.dumps(doc))
+        assert main(["crossover", "--quick", "--compare", str(path)]) == 1
+        assert "drift" in capsys.readouterr().out
+
+
+class TestRepoBaseline:
+    def test_repo_baseline_loads_if_present(self):
+        """The checked-in full-scale baseline (results/baseline.json) must
+        stay loadable and structurally sound."""
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parent.parent / "results" / "baseline.json"
+        if not path.exists():
+            pytest.skip("no baseline saved in this checkout")
+        doc = load_results(path)
+        assert "table2" in doc["experiments"]
+        rows = doc["experiments"]["table2"]["rows"]
+        assert len(rows) == 8
+        assert all("ours" in r for r in rows)

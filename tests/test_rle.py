@@ -1,0 +1,144 @@
+"""Tests for RLE compression (Section III-C), incl. hypothesis roundtrips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.rle import (
+    RLE_POLICIES,
+    RunLengthColumns,
+    decide_compression,
+    decode_segments,
+    encode_segments,
+    estimated_ratio,
+    measured_ratio,
+)
+
+
+class TestEncode:
+    def test_paper_example(self):
+        """1.2,1.2,1.2,3.4,3.4,3.4,3.4 -> (1.2,3),(3.4,4)."""
+        vals = np.array([1.2, 1.2, 1.2, 3.4, 3.4, 3.4, 3.4])
+        rle = encode_segments(vals, np.array([0, 7]))
+        assert list(rle.run_values) == [1.2, 3.4]
+        assert list(rle.run_lengths) == [3, 4]
+
+    def test_runs_never_cross_segments(self):
+        vals = np.array([1.0, 1.0, 1.0, 1.0])
+        rle = encode_segments(vals, np.array([0, 2, 4]))
+        assert rle.n_runs == 2
+        assert list(rle.run_offsets) == [0, 1, 2]
+
+    def test_empty_segments(self):
+        vals = np.array([5.0])
+        rle = encode_segments(vals, np.array([0, 0, 1, 1]))
+        assert rle.n_runs == 1
+        assert list(rle.run_offsets) == [0, 0, 1, 1]
+
+    def test_empty_input(self):
+        rle = encode_segments(np.array([]), np.array([0]))
+        assert rle.n_runs == 0
+        assert rle.n_elements == 0
+
+    def test_no_repetition(self):
+        vals = np.array([3.0, 2.0, 1.0])
+        rle = encode_segments(vals, np.array([0, 3]))
+        assert rle.n_runs == 3
+        assert rle.compression_ratio == pytest.approx(1.0)
+
+    def test_element_offsets_reconstruction(self):
+        vals = np.array([2.0, 2.0, 1.0, 9.0])
+        rle = encode_segments(vals, np.array([0, 3, 4]))
+        assert list(rle.element_offsets()) == [0, 3, 4]
+
+    def test_run_starts(self):
+        vals = np.array([2.0, 2.0, 1.0, 9.0])
+        rle = encode_segments(vals, np.array([0, 3, 4]))
+        assert list(rle.run_starts()) == [0, 2, 3]
+
+
+class TestDecode:
+    def test_roundtrip_simple(self):
+        vals = np.array([4.0, 4.0, 2.0, 2.0, 2.0])
+        offsets = np.array([0, 2, 5])
+        out_vals, out_off = decode_segments(encode_segments(vals, offsets))
+        assert np.array_equal(out_vals, vals)
+        assert np.array_equal(out_off, offsets)
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, data):
+        """encode . decode == identity for any sorted-per-segment input."""
+        n_seg = data.draw(st.integers(0, 6))
+        chunks, offsets = [], [0]
+        for _ in range(n_seg):
+            seg = sorted(
+                data.draw(st.lists(st.sampled_from([0.5, 1.0, 1.5, 2.0]), max_size=10)),
+                reverse=True,
+            )
+            chunks.append(np.array(seg))
+            offsets.append(offsets[-1] + len(seg))
+        vals = np.concatenate(chunks) if chunks else np.array([])
+        offsets = np.array(offsets)
+        out_vals, out_off = decode_segments(encode_segments(vals, offsets))
+        assert np.array_equal(out_vals, vals)
+        assert np.array_equal(out_off, offsets)
+
+
+class TestValidation:
+    def test_zero_length_run_rejected(self):
+        with pytest.raises(ValueError):
+            RunLengthColumns(
+                run_values=np.array([1.0]), run_lengths=np.array([0]),
+                run_offsets=np.array([0, 1]),
+            )
+
+    def test_misaligned_runs_rejected(self):
+        with pytest.raises(ValueError):
+            RunLengthColumns(
+                run_values=np.array([1.0, 2.0]), run_lengths=np.array([1]),
+                run_offsets=np.array([0, 2]),
+            )
+
+    def test_nbytes_device(self):
+        rle = encode_segments(np.array([1.0, 1.0]), np.array([0, 2]))
+        assert rle.nbytes_device == 8 + 16
+
+
+class TestPolicies:
+    def test_paper_formula(self):
+        """ratio = dimensionality / cardinality (Section III-C)."""
+        assert estimated_ratio(100, 50) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            estimated_ratio(0, 5)
+
+    def test_paper_policy_threshold(self):
+        assert decide_compression("paper", n_rows=10, n_cols=1000, paper_threshold=1.0)
+        assert not decide_compression("paper", n_rows=1000, n_cols=10, paper_threshold=1.0)
+
+    def test_measured_policy(self):
+        vals = np.ones(10)
+        off = np.array([0, 10])
+        assert measured_ratio(vals, off) == pytest.approx(10.0)
+        assert decide_compression(
+            "measured", n_rows=10, n_cols=1, values=vals, offsets=off
+        )
+        distinct = np.arange(10, 0, -1).astype(float)
+        assert not decide_compression(
+            "measured", n_rows=10, n_cols=1, values=distinct, offsets=off
+        )
+
+    def test_measured_policy_requires_data(self):
+        with pytest.raises(ValueError, match="requires"):
+            decide_compression("measured", n_rows=1, n_cols=1)
+
+    def test_forced_policies(self):
+        assert decide_compression("always", n_rows=1, n_cols=1)
+        assert not decide_compression("never", n_rows=1, n_cols=1)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown RLE policy"):
+            decide_compression("sometimes", n_rows=1, n_cols=1)
+
+    def test_policy_registry(self):
+        assert set(RLE_POLICIES) == {"paper", "measured", "always", "never"}

@@ -1,0 +1,117 @@
+"""Tests for block scheduling/occupancy and the kernel cost model."""
+
+import pytest
+
+from repro.gpusim import GpuDevice, TITAN_X_PASCAL, TESLA_K20
+from repro.gpusim.costmodel import kernel_time, phase_times, total_time, transfer_time
+from repro.gpusim.scheduler import occupancy
+
+
+class TestOccupancy:
+    def test_full_grid_full_utilization(self):
+        occ = occupancy(TITAN_X_PASCAL, blocks=10_000, threads_per_block=256)
+        assert occ.utilization == 1.0
+        assert occ.waves >= 1
+
+    def test_tiny_grid_underutilizes(self):
+        """The paper's granularity challenge: few blocks leave SMs idle."""
+        occ = occupancy(TITAN_X_PASCAL, blocks=7, threads_per_block=256)
+        assert occ.utilization == pytest.approx(7 / 28)
+
+    def test_small_blocks_waste_warp_lanes(self):
+        occ = occupancy(TITAN_X_PASCAL, blocks=1000, threads_per_block=8)
+        assert occ.utilization == pytest.approx(8 / 32)
+
+    def test_dispatch_cost_grows_with_blocks(self):
+        a = occupancy(TITAN_X_PASCAL, blocks=1000, threads_per_block=256)
+        b = occupancy(TITAN_X_PASCAL, blocks=1_000_000, threads_per_block=256)
+        assert b.dispatch_seconds > 100 * a.dispatch_seconds
+
+    def test_waves(self):
+        occ = occupancy(TITAN_X_PASCAL, blocks=1, threads_per_block=256)
+        assert occ.waves == 1
+        big = occupancy(TITAN_X_PASCAL, blocks=10**6, threads_per_block=256)
+        assert big.waves > 1
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            occupancy(TITAN_X_PASCAL, blocks=0, threads_per_block=256)
+
+
+class TestKernelTime:
+    def _mk(self, **kw):
+        d = GpuDevice(TITAN_X_PASCAL)
+        d.launch("k", **kw)
+        return d
+
+    def test_memory_bound_kernel_scales_with_bytes(self):
+        d1 = self._mk(elements=1000, coalesced_bytes=1e6)
+        d2 = self._mk(elements=1000, coalesced_bytes=1e8)
+        t1 = kernel_time(TITAN_X_PASCAL, d1.ledger.kernels[0])
+        t2 = kernel_time(TITAN_X_PASCAL, d2.ledger.kernels[0])
+        assert t2 > t1 * 10
+
+    def test_irregular_bytes_cost_more_than_coalesced(self):
+        """The paper's challenge 1: irregular accesses dominate."""
+        d1 = self._mk(elements=1000, coalesced_bytes=1e8)
+        d2 = self._mk(elements=1000, irregular_bytes=1e8)
+        t1 = kernel_time(TITAN_X_PASCAL, d1.ledger.kernels[0])
+        t2 = kernel_time(TITAN_X_PASCAL, d2.ledger.kernels[0])
+        assert t2 > 3 * t1
+
+    def test_launch_latency_floor(self):
+        d = self._mk(elements=1)
+        t = kernel_time(TITAN_X_PASCAL, d.ledger.kernels[0])
+        assert t >= TITAN_X_PASCAL.kernel_launch_us * 1e-6
+
+    def test_multi_launch_overhead(self):
+        d1 = self._mk(elements=1, launches=1)
+        d2 = self._mk(elements=1, launches=100)
+        t1 = kernel_time(TITAN_X_PASCAL, d1.ledger.kernels[0])
+        t2 = kernel_time(TITAN_X_PASCAL, d2.ledger.kernels[0])
+        assert t2 > t1 * 50
+
+    def test_slower_device_is_slower(self):
+        d = GpuDevice(TITAN_X_PASCAL)
+        k = d.launch("k", elements=10**7, coalesced_bytes=8e8)
+        assert kernel_time(TESLA_K20, k) > kernel_time(TITAN_X_PASCAL, k)
+
+    def test_huge_one_block_per_segment_grid_costs_dispatch(self):
+        """The Customized-SetKey effect: millions of tiny blocks hurt."""
+        d = GpuDevice(TITAN_X_PASCAL)
+        small = d.launch("setkey_on", elements=10**6, coalesced_bytes=8e6, blocks=28_000)
+        big = d.launch("setkey_off", elements=10**6, coalesced_bytes=8e6, blocks=40_000_000)
+        assert kernel_time(TITAN_X_PASCAL, big) > 2 * kernel_time(TITAN_X_PASCAL, small)
+
+
+class TestTransfersAndTotals:
+    def test_transfer_time_includes_latency(self):
+        d = GpuDevice(TITAN_X_PASCAL)
+        t = d.transfer("tiny", 1)
+        assert transfer_time(TITAN_X_PASCAL, t) >= 20e-6
+
+    def test_pcie_slower_than_device_memory(self):
+        """Section II-C: PCIe is an order of magnitude slower."""
+        d = GpuDevice(TITAN_X_PASCAL)
+        k = d.launch("k", elements=10**7, coalesced_bytes=1e9)
+        t = d.transfer("t", 1e9)
+        assert transfer_time(TITAN_X_PASCAL, t) > 5 * kernel_time(TITAN_X_PASCAL, k)
+
+    def test_total_time_is_sum(self):
+        d = GpuDevice(TITAN_X_PASCAL)
+        d.launch("a", elements=1000, coalesced_bytes=1e6)
+        d.launch("b", elements=1000, coalesced_bytes=1e6)
+        parts = [kernel_time(TITAN_X_PASCAL, k) for k in d.ledger.kernels]
+        assert total_time(TITAN_X_PASCAL, d.ledger) == pytest.approx(sum(parts))
+
+    def test_phase_times_partition_total(self):
+        d = GpuDevice(TITAN_X_PASCAL)
+        with d.phase("a"):
+            d.launch("k", elements=1000, coalesced_bytes=1e6)
+        with d.phase("b"):
+            d.launch("k", elements=1000, coalesced_bytes=1e7)
+            d.transfer("t", 1e6)
+        per = phase_times(TITAN_X_PASCAL, d.ledger)
+        assert set(per) == {"a", "b"}
+        assert sum(per.values()) == pytest.approx(total_time(TITAN_X_PASCAL, d.ledger))
+        assert per["b"] > per["a"]

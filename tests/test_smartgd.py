@@ -1,0 +1,112 @@
+"""Tests for SmartGD vs. traversal gradient computation."""
+
+import numpy as np
+import pytest
+
+from repro import GBDTParams, GradientBoostedTrees, GpuDevice, TITAN_X_PASCAL
+from repro.core.smartgd import GradientComputer
+from repro.core.tree import DecisionTree
+from repro.data import CSRMatrix
+from repro.losses import SquaredErrorLoss
+
+
+def leaf_tree(value: float) -> DecisionTree:
+    t = DecisionTree()
+    t.add_root()
+    t.set_leaf(0, value)
+    return t
+
+
+@pytest.fixture
+def xy():
+    X = CSRMatrix.from_rows([[(0, 1.0)], [(0, 2.0)], [(0, 3.0)]], n_cols=1)
+    y = np.array([1.0, 2.0, 3.0])
+    return X, y
+
+
+class TestSmartGDPath:
+    def test_initial_gradients_from_base_score(self, xy):
+        X, y = xy
+        gc = GradientComputer(GpuDevice(TITAN_X_PASCAL), SquaredErrorLoss(), y)
+        g, h = gc.compute()
+        assert np.allclose(g, 2 * (0.0 - y))
+        assert np.allclose(h, 2.0)
+
+    def test_leaf_updates_accumulate(self, xy):
+        X, y = xy
+        gc = GradientComputer(GpuDevice(TITAN_X_PASCAL), SquaredErrorLoss(), y)
+        gc.on_leaves(np.array([0, 2]), np.array([0.5, 0.25]))
+        gc.on_leaves(np.array([1]), np.array([1.0]))
+        g, _ = gc.compute()
+        assert np.allclose(gc.yhat, [0.5, 1.0, 0.25])
+        assert np.allclose(g, 2 * (gc.yhat - y))
+
+    def test_empty_leaf_report_is_noop(self, xy):
+        X, y = xy
+        d = GpuDevice(TITAN_X_PASCAL)
+        gc = GradientComputer(d, SquaredErrorLoss(), y)
+        gc.on_leaves(np.array([], dtype=np.int64), np.array([]))
+        assert len(d.ledger.kernels) == 0
+
+    def test_smartgd_charges_scatter_not_traversal(self, xy):
+        X, y = xy
+        d = GpuDevice(TITAN_X_PASCAL)
+        gc = GradientComputer(d, SquaredErrorLoss(), y)
+        gc.on_leaves(np.array([0]), np.array([1.0]))
+        gc.on_tree_finished(leaf_tree(1.0))
+        gc.compute()
+        names = {k.name for k in d.ledger.kernels}
+        assert "smartgd_apply_leaf_weights" in names
+        assert "predict_by_traversal" not in names
+
+
+class TestTraversalPath:
+    def test_requires_X(self, xy):
+        _, y = xy
+        with pytest.raises(ValueError, match="requires X"):
+            GradientComputer(
+                GpuDevice(TITAN_X_PASCAL), SquaredErrorLoss(), y, use_smartgd=False
+            )
+
+    def test_traversal_charges_divergent_traffic(self, xy):
+        X, y = xy
+        d = GpuDevice(TITAN_X_PASCAL)
+        gc = GradientComputer(d, SquaredErrorLoss(), y, use_smartgd=False, X=X)
+        gc.on_leaves(np.array([0]), np.array([1.0]))  # ignored in this mode
+        gc.on_tree_finished(leaf_tree(0.5))
+        gc.compute()
+        names = {k.name for k in d.ledger.kernels}
+        assert "predict_by_traversal" in names
+        assert np.allclose(gc.yhat, 0.5)
+
+    def test_pending_trees_flushed_once(self, xy):
+        X, y = xy
+        d = GpuDevice(TITAN_X_PASCAL)
+        gc = GradientComputer(d, SquaredErrorLoss(), y, use_smartgd=False, X=X)
+        gc.on_tree_finished(leaf_tree(0.5))
+        gc.compute()
+        gc.compute()  # no double counting
+        assert np.allclose(gc.yhat, 0.5)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("dataset", ["covtype_small", "susy_small", "sparse_small"])
+    def test_smartgd_equals_traversal_end_to_end(self, dataset, request):
+        """The paper's claim behind SmartGD: reusing intermediate results
+        gives the same yhat as re-predicting by traversal, bit-for-bit the
+        same trees either way."""
+        ds = request.getfixturevalue(dataset)
+        p = GBDTParams(n_trees=4, max_depth=4)
+        from repro import models_equal
+
+        a = GradientBoostedTrees(p, backend="gpu-gbdt").fit(ds.X, ds.y)
+        b = GradientBoostedTrees(p.replace(use_smartgd=False), backend="gpu-gbdt").fit(ds.X, ds.y)
+        assert models_equal(a.model_, b.model_)
+        assert np.allclose(a.predict(ds.X_test), b.predict(ds.X_test))
+
+    def test_predictions_property_flushes(self, xy):
+        X, y = xy
+        d = GpuDevice(TITAN_X_PASCAL)
+        gc = GradientComputer(d, SquaredErrorLoss(), y, use_smartgd=False, X=X)
+        gc.on_tree_finished(leaf_tree(0.25))
+        assert np.allclose(gc.predictions(), 0.25)

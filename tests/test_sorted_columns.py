@@ -1,0 +1,118 @@
+"""Tests for the sorted attribute lists (the Section II-A example)."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_sorted_columns, table1_example
+from repro.gpusim import GpuDevice, TITAN_X_PASCAL
+
+
+@pytest.fixture
+def table1_sorted():
+    X, _ = table1_example()
+    return build_sorted_columns(X.to_csc())
+
+
+class TestPaperExample:
+    def test_a1_sorted_descending(self, table1_sorted):
+        """Paper: a1 -> (x2: 1.2); (x4: 1.2); (x3: 0.5)."""
+        vals, inst = table1_sorted.column(0)
+        assert list(vals) == [1.2, 1.2, 0.5]
+        assert list(inst) == [1, 3, 2]  # 0-based x2, x4, x3
+
+    def test_a2_single_entry(self, table1_sorted):
+        """Paper: a2 -> (x3: 1.0)."""
+        vals, inst = table1_sorted.column(1)
+        assert list(vals) == [1.0]
+        assert list(inst) == [2]
+
+    def test_a3_ordering(self, table1_sorted):
+        """Paper: a3 -> (x4: 2.0); (x2: 0.1); (x1: 0.1) -- note the paper
+        lists x2 before x1 among the tied 0.1 values; our stable rule orders
+        ties by ascending instance id (x1 then x2), which is equally valid
+        and deterministic."""
+        vals, inst = table1_sorted.column(2)
+        assert list(vals) == [2.0, 0.1, 0.1]
+        assert inst[0] == 3
+        assert set(inst[1:]) == {0, 1}
+        assert list(inst[1:]) == sorted(inst[1:])  # stable tie order
+
+    def test_a4(self, table1_sorted):
+        vals, inst = table1_sorted.column(3)
+        assert list(vals) == [0.6]
+        assert list(inst) == [1]
+
+    def test_missing_counts(self, table1_sorted):
+        """x1 misses a1; only x3 has a2; etc."""
+        assert table1_sorted.missing_count(0) == 1
+        assert table1_sorted.missing_count(1) == 3
+        assert table1_sorted.missing_count(2) == 1
+        assert table1_sorted.missing_count(3) == 3
+
+    def test_check_sorted(self, table1_sorted):
+        assert table1_sorted.check_sorted()
+
+    def test_nnz(self, table1_sorted):
+        assert table1_sorted.nnz == 8
+
+
+class TestDeviceBuild:
+    def test_device_build_matches_host_build(self):
+        X, _ = table1_example()
+        csc = X.to_csc()
+        host = build_sorted_columns(csc)
+        d = GpuDevice(TITAN_X_PASCAL)
+        on_dev = build_sorted_columns(csc, d)
+        assert np.array_equal(host.values, on_dev.values)
+        assert np.array_equal(host.inst, on_dev.inst)
+        assert len(d.ledger.kernels) == 1  # the radix sort was charged
+
+    def test_device_footprint(self, table1_sorted):
+        assert table1_sorted.nbytes_device == 8 * 8 + 5 * 8
+
+
+class TestValidation:
+    def test_bad_offsets_length(self):
+        from repro.data.sorted_columns import SortedColumns
+
+        with pytest.raises(ValueError):
+            SortedColumns(
+                col_offsets=np.array([0, 1]), values=np.array([1.0]),
+                inst=np.array([0]), n_rows=1, n_cols=2,
+            )
+
+    def test_misaligned_inst(self):
+        from repro.data.sorted_columns import SortedColumns
+
+        with pytest.raises(ValueError):
+            SortedColumns(
+                col_offsets=np.array([0, 2]), values=np.array([1.0, 2.0]),
+                inst=np.array([0]), n_rows=2, n_cols=1,
+            )
+
+    def test_check_sorted_detects_violation(self):
+        from repro.data.sorted_columns import SortedColumns
+
+        sc = SortedColumns(
+            col_offsets=np.array([0, 2]), values=np.array([1.0, 2.0]),
+            inst=np.array([0, 1]), n_rows=2, n_cols=1,
+        )
+        assert not sc.check_sorted()
+
+
+def test_random_build_is_descending_and_complete():
+    rng = np.random.default_rng(3)
+    from tests.conftest import random_csr
+
+    X = random_csr(rng, 50, 7, density=0.4)
+    sc = build_sorted_columns(X.to_csc())
+    assert sc.check_sorted()
+    assert sc.nnz == X.nnz
+    # every (inst, value) pair of the original matrix appears exactly once
+    for j in range(7):
+        vals, inst = sc.column(j)
+        pairs = sorted(zip(inst.tolist(), vals.tolist()))
+        expected = sorted(
+            (i, X.get(i, j)) for i in range(50) if X.get(i, j) is not None
+        )
+        assert pairs == expected

@@ -1,0 +1,160 @@
+"""Tests for the decision-tree structure and prediction semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import DecisionTree, trees_equal
+from repro.data import CSRMatrix, DenseMatrix
+
+
+def small_tree() -> DecisionTree:
+    """root: a0 > 1.0 (default L); left leaf 2.0; right: a1 > 0.5 -> +-1."""
+    t = DecisionTree()
+    t.add_root(10)
+    lid, rid = t.split_node(0, attr=0, threshold=1.0, default_left=True, gain=5.0)
+    t.set_leaf(lid, 2.0)
+    l2, r2 = t.split_node(rid, attr=1, threshold=0.5, default_left=False, gain=1.0)
+    t.set_leaf(l2, 1.0)
+    t.set_leaf(r2, -1.0)
+    return t
+
+
+class TestBuilding:
+    def test_single_root(self):
+        t = DecisionTree()
+        t.add_root()
+        with pytest.raises(RuntimeError, match="already has a root"):
+            t.add_root()
+
+    def test_counts(self):
+        t = small_tree()
+        assert t.n_nodes == 5
+        assert t.n_leaves == 3
+        assert t.max_depth() == 2
+
+    def test_double_split_rejected(self):
+        t = DecisionTree()
+        t.add_root()
+        t.split_node(0, 0, 1.0, False, 1.0)
+        with pytest.raises(RuntimeError, match="already split"):
+            t.split_node(0, 0, 1.0, False, 1.0)
+
+    def test_leaf_on_internal_rejected(self):
+        t = DecisionTree()
+        t.add_root()
+        t.split_node(0, 0, 1.0, False, 1.0)
+        with pytest.raises(RuntimeError, match="internal"):
+            t.set_leaf(0, 1.0)
+
+    def test_bad_node_id(self):
+        t = DecisionTree()
+        t.add_root()
+        with pytest.raises(IndexError):
+            t.set_leaf(7, 1.0)
+
+    def test_negative_attr_rejected(self):
+        t = DecisionTree()
+        t.add_root()
+        with pytest.raises(ValueError):
+            t.split_node(0, -1, 1.0, False, 1.0)
+
+    def test_depth_tracking(self):
+        t = small_tree()
+        assert t.depth == [0, 1, 1, 2, 2]
+
+
+class TestPrediction:
+    def test_greater_goes_left(self):
+        t = small_tree()
+        out = t.predict(np.array([[2.0, 0.0]]))
+        assert out[0] == 2.0  # a0=2 > 1 -> left leaf
+
+    def test_smaller_goes_right_then_a1(self):
+        t = small_tree()
+        assert t.predict(np.array([[0.0, 1.0]]))[0] == 1.0  # right, a1 > .5 left
+        assert t.predict(np.array([[0.0, 0.0]]))[0] == -1.0
+
+    def test_missing_follows_default(self):
+        t = small_tree()
+        # a0 missing -> default LEFT at root
+        assert t.predict(np.array([[np.nan, 0.0]]))[0] == 2.0
+        # a0 small, a1 missing -> default RIGHT at second node
+        assert t.predict(np.array([[0.0, np.nan]]))[0] == -1.0
+
+    def test_csr_prediction_missing_semantics(self):
+        t = small_tree()
+        X = CSRMatrix.from_rows([[(1, 1.0)]], n_cols=2)  # a0 absent
+        assert t.predict(X)[0] == 2.0
+
+    def test_predict_row_matches_batch(self):
+        t = small_tree()
+        X = CSRMatrix.from_rows(
+            [[(0, 2.0)], [(0, 0.5), (1, 1.0)], [(1, 0.1)]], n_cols=2
+        )
+        batch = t.predict(X)
+        for i in range(3):
+            cols, vals = X.row(i)
+            assert t.predict_row(cols, vals) == batch[i]
+
+    def test_dense_matrix_input(self):
+        t = small_tree()
+        out = t.predict(DenseMatrix(np.array([[2.0, 0.0]])))
+        assert out[0] == 2.0
+
+    def test_value_exactly_threshold_goes_right(self):
+        t = small_tree()
+        assert t.predict(np.array([[1.0, 1.0]]))[0] == 1.0  # 1.0 > 1.0 is False
+
+    def test_single_leaf_tree(self):
+        t = DecisionTree()
+        t.add_root()
+        t.set_leaf(0, 7.0)
+        assert t.predict(np.zeros((3, 2)))[0] == 7.0
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        t = small_tree()
+        t2 = DecisionTree.from_dict(t.to_dict())
+        assert trees_equal(t, t2)
+
+    def test_dump_text_structure(self):
+        text = small_tree().dump_text()
+        assert "a0 > 1" in text
+        assert text.count("leaf") == 3
+
+
+class TestEquality:
+    def test_equal_trees(self):
+        assert trees_equal(small_tree(), small_tree())
+
+    def test_different_structure(self):
+        t2 = DecisionTree()
+        t2.add_root()
+        t2.set_leaf(0, 0.0)
+        assert not trees_equal(small_tree(), t2)
+
+    def test_different_attr(self):
+        a, b = small_tree(), small_tree()
+        b.attr[0] = 1
+        assert not trees_equal(a, b)
+
+    def test_threshold_within_tolerance(self):
+        a, b = small_tree(), small_tree()
+        b.threshold[0] += 1e-12
+        assert trees_equal(a, b)
+
+    def test_threshold_outside_tolerance(self):
+        a, b = small_tree(), small_tree()
+        b.threshold[0] += 1e-3
+        assert not trees_equal(a, b)
+
+    def test_leaf_value_noise_tolerated(self):
+        a, b = small_tree(), small_tree()
+        b.value[1] += 1e-13
+        assert trees_equal(a, b)
+
+    def test_default_direction_matters(self):
+        a, b = small_tree(), small_tree()
+        b.default_left[0] = False
+        assert not trees_equal(a, b)
