@@ -1,0 +1,33 @@
+"""Benchmark: the inference-serving subsystem (`repro.serve`).
+
+Serves one request stream three ways -- the legacy per-request per-tree
+loop, one flattened batch sweep, and the micro-batched serving path -- and
+asserts the batched serving path beats per-request serving by an order of
+magnitude while predicting identically.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_serving_bench
+
+from conftest import print_result
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_bench(benchmark, quick):
+    result = benchmark.pedantic(lambda: run_serving_bench(quick=quick), rounds=1, iterations=1)
+    print_result(result, "Serving bench -- flattened ensemble + micro-batching")
+
+    # the whole point of the subsystem: batched serving must be at least an
+    # order of magnitude faster than serving each request through the
+    # per-tree Python loop
+    assert result.speedup_vs_per_request >= 10.0
+    # the flattened sweep never loses to the per-tree loop on a full batch
+    assert result.speedup_batch_vs_loop > 0.8
+    # differential safety on everything served: flat == per-tree to 1e-6
+    assert result.max_abs_dev < 1e-6
+    # the serving path charged the simulated device for its batches
+    assert result.modeled_gpu_seconds > 0.0
+    # the cache demo produced hits and nothing was lost to overload
+    assert result.metrics["cache_hits"] > 0
+    assert result.metrics["rejected"] == 0

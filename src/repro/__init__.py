@@ -48,6 +48,13 @@ from .gpusim import (
 )
 from .losses import CustomLoss, HuberLoss, LogisticLoss, Loss, PoissonLoss, SquaredErrorLoss, get_loss
 from .metrics import accuracy, error_rate, mean_abs_error, mse, rmse
+from .serve import (
+    BatchPolicy,
+    FlatEnsemble,
+    MicroBatcher,
+    ModelRegistry,
+    ServingStats,
+)
 
 __version__ = "1.0.0"
 
@@ -91,5 +98,10 @@ __all__ = [
     "mean_abs_error",
     "mse",
     "rmse",
+    "BatchPolicy",
+    "FlatEnsemble",
+    "MicroBatcher",
+    "ModelRegistry",
+    "ServingStats",
     "__version__",
 ]

@@ -53,6 +53,8 @@ __all__ = [
     "run_crossover",
     "run_multigpu_scaling",
     "run_thread_sweep",
+    "ServingBenchResult",
+    "run_serving_bench",
 ]
 
 #: datasets whose speedup series the sensitivity studies track (a dense, a
@@ -669,4 +671,151 @@ def run_crossover(
         title="Extension -- modeled training time vs. dataset cardinality (susy profile)",
         note="fixed launch/PCIe overheads make the CPU competitive at small n; "
         "the GPU pulls ahead as cardinality grows",
+    )
+
+
+# ============================================================ serving =======
+@dataclasses.dataclass
+class ServingBenchResult:
+    """Wall-clock serving comparison plus batched-path service metrics."""
+
+    rows: List[Dict]
+    metrics: Dict[str, float]
+    #: batched micro-batcher throughput over the old per-request loop
+    speedup_vs_per_request: float
+    #: flattened batch sweep over the per-tree loop on the same full batch
+    speedup_batch_vs_loop: float
+    #: max |flat - per-tree loop| over every served row (differential guard)
+    max_abs_dev: float
+    modeled_gpu_seconds: float
+    n_requests: int
+    n_trees: int
+
+    @property
+    def text(self) -> str:
+        headers = ["serving path", "total (s)", "per-request (ms)", "req/s"]
+        body = [
+            [r["path"], r["total_s"], r["per_request_ms"], r["rps"]] for r in self.rows
+        ]
+        table = format_table(
+            headers,
+            body,
+            title=(
+                f"Serving bench -- {self.n_requests} requests x "
+                f"{self.n_trees} trees"
+            ),
+        )
+        m = self.metrics
+        return table + (
+            f"\nbatched path: p50={m['p50_ms']:.3g} ms  p95={m['p95_ms']:.3g} ms  "
+            f"p99={m['p99_ms']:.3g} ms (queue wait, simulated arrivals)"
+            f"\ncache: {int(m['cache_hits'])} hits / {int(m['cache_misses'])} misses "
+            f"({m['cache_hit_rate']:.1%}); shed={int(m['shed'])} rejected={int(m['rejected'])}"
+            f"\nspeedup: micro-batched vs per-request loop {self.speedup_vs_per_request:.1f}x; "
+            f"flat batch vs per-tree loop on one full batch {self.speedup_batch_vs_loop:.2f}x"
+            f"\nmax |flat - per-tree| deviation {self.max_abs_dev:.3g}; "
+            f"modeled GPU serving cost {self.modeled_gpu_seconds * 1e3:.3g} ms"
+        )
+
+
+def run_serving_bench(quick: bool = False) -> ServingBenchResult:
+    """Benchmark the serving subsystem (:mod:`repro.serve`).
+
+    Three ways to serve the same request stream:
+
+    1. **per-request loop** -- the pre-serving path: ``model.predict`` on
+       each single-row request, looping over trees in Python (measured on a
+       sample of the stream, reported per request);
+    2. **flat batch** -- one :class:`~repro.serve.FlatEnsemble` sweep over
+       the whole stream as a single matrix;
+    3. **micro-batched** -- the :class:`~repro.serve.MicroBatcher` fed
+       request by request (simulated arrival clock, real prediction work),
+       with a prediction cache and a simulated device charging the
+       Section III-D kernels.
+    """
+    import time as _time
+
+    from ..gpusim.kernel import GpuDevice
+    from ..serve import BatchPolicy, MicroBatcher, ModelRegistry
+
+    n_requests = 1000 if quick else 10000
+    n_trees = 20 if quick else 100
+    ds = make_dataset("susy", run_rows=600 if quick else 2000, seed=21)
+    from ..core.trainer import GPUGBDTTrainer
+
+    model = GPUGBDTTrainer(
+        GBDTParams(n_trees=n_trees, max_depth=4 if quick else 6)
+    ).fit(ds.X, ds.y)
+
+    rng = np.random.default_rng(33)
+    requests = rng.normal(size=(n_requests, ds.X.n_cols))
+    # ~10% of requests repeat a recently seen feature vector (cache food:
+    # close enough behind to still be resident in the LRU)
+    for i in rng.integers(1, n_requests, size=n_requests // 10):
+        requests[i] = requests[i - min(i, int(rng.integers(1, 400)))]
+
+    # -- path 1: per-request per-tree loop, sampled ------------------------
+    sample = min(n_requests, 100 if quick else 300)
+    t0 = _time.perf_counter()
+    for i in range(sample):
+        model.predict(requests[i : i + 1])
+    per_request_s = (_time.perf_counter() - t0) / sample
+
+    # -- path 2: one flat sweep over the full stream -----------------------
+    registry = ModelRegistry()
+    registry.publish(model)
+    flat = registry.active().flat
+    flat.predict(requests[:64])  # warm-up
+    t0 = _time.perf_counter()
+    flat_pred = flat.predict(requests)
+    flat_batch_s = _time.perf_counter() - t0
+    t0 = _time.perf_counter()
+    loop_pred = np.full(n_requests, model.base_score)
+    for tree in model.trees:
+        loop_pred += tree.predict(requests)
+    loop_batch_s = _time.perf_counter() - t0
+    max_abs_dev = float(np.abs(flat_pred - loop_pred).max())
+
+    # -- path 3: micro-batched serving of the stream -----------------------
+    arrival_gap = 20e-6  # simulated 50k req/s arrival process
+    policy = BatchPolicy(
+        max_batch=256, max_wait=0.002, max_queue=4096, cache_size=1024
+    )
+    device = GpuDevice()
+    batcher = MicroBatcher(registry, policy=policy, device=device)
+    now = 0.0
+    t0 = _time.perf_counter()
+    handles = []
+    for i in range(n_requests):
+        handles.append(batcher.submit(requests[i], now=now))
+        batcher.poll(now=now)
+        now += arrival_gap
+    batcher.drain(now=now)
+    batched_s = _time.perf_counter() - t0
+    served = np.array([h.result() for h in handles])
+    max_abs_dev = max(max_abs_dev, float(np.abs(served - flat_pred).max()))
+
+    def row(path: str, total: float) -> Dict:
+        return {
+            "path": path,
+            "total_s": total,
+            "per_request_ms": total / n_requests * 1e3,
+            "rps": n_requests / total,
+        }
+
+    rows = [
+        row("per-request per-tree loop", per_request_s * n_requests),
+        row("per-tree loop, one batch", loop_batch_s),
+        row("flat ensemble, one batch", flat_batch_s),
+        row("micro-batched (serve path)", batched_s),
+    ]
+    return ServingBenchResult(
+        rows=rows,
+        metrics=batcher.stats.summary(duration=batched_s),
+        speedup_vs_per_request=per_request_s * n_requests / batched_s,
+        speedup_batch_vs_loop=loop_batch_s / flat_batch_s,
+        max_abs_dev=max_abs_dev,
+        modeled_gpu_seconds=device.elapsed_seconds(),
+        n_requests=n_requests,
+        n_trees=n_trees,
     )

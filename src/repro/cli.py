@@ -38,6 +38,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], object]] = {
     "crossover": lambda quick: experiments.run_crossover(quick),
     "multigpu": lambda quick: experiments.run_multigpu_scaling(quick),
     "threads": lambda quick: experiments.run_thread_sweep(quick),
+    "serve-bench": lambda quick: experiments.run_serving_bench(quick),
 }
 
 

@@ -5,7 +5,7 @@ from .booster_model import GBDTModel, models_equal
 from .importance import IMPORTANCE_KINDS, feature_importance
 from .params import GBDTParams
 from .partition import PartitionPlan, partition_segments, plan_partition
-from .predictor import predict_on_device
+from .predictor import charge_prediction_kernels, predict_on_device
 from .rle_split import split_runs_direct, split_runs_with_decompression
 from .sampling import TreeSample, sample_tree
 from .setkey import SetKeyPlan, plan_segment_grid
@@ -32,6 +32,7 @@ __all__ = [
     "PartitionPlan",
     "partition_segments",
     "plan_partition",
+    "charge_prediction_kernels",
     "predict_on_device",
     "split_runs_direct",
     "split_runs_with_decompression",

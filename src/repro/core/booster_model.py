@@ -28,6 +28,42 @@ class GBDTModel:
     def n_trees(self) -> int:
         return len(self.trees)
 
+    # ------------------------------------------------------------ flattening
+    #: below this many (row, tree) pairs the per-tree loop wins -- the
+    #: flattened sweep's setup cost is not worth amortizing
+    _FLAT_MIN_PAIRS = 4096
+
+    def _flat_signature(self) -> tuple:
+        """Cheap content fingerprint guarding the cached flat ensemble.
+
+        Catches every mutation the :class:`DecisionTree` API can make:
+        ``split_node`` changes node counts, ``set_leaf`` changes the value
+        sum.  Direct field surgery on a tree must call :meth:`flatten` with
+        ``refresh=True``.
+        """
+        return (
+            len(self.trees),
+            sum(len(t.left) for t in self.trees),
+            sum(sum(t.value) for t in self.trees),
+            self.base_score,
+        )
+
+    def flatten(self, *, refresh: bool = False):
+        """The ensemble as a :class:`~repro.serve.FlatEnsemble` (cached).
+
+        The cache is invalidated automatically when trees are added or leaf
+        values change; pass ``refresh=True`` after mutating a tree's arrays
+        in place.
+        """
+        from ..serve.flat_model import FlatEnsemble
+
+        sig = self._flat_signature()
+        cached = getattr(self, "_flat_cache", None)
+        if refresh or cached is None or cached[0] != sig:
+            cached = (sig, FlatEnsemble.from_model(self))
+            self._flat_cache = cached
+        return cached[1]
+
     def predict(
         self,
         X: CSRMatrix | DenseMatrix | np.ndarray,
@@ -47,9 +83,18 @@ class GBDTModel:
             dense = X.values
         else:
             dense = np.asarray(X, dtype=np.float64)
-        out = np.full(dense.shape[0], self.base_score, dtype=np.float64)
-        for tree in use:
-            out += tree.predict(dense)
+        if (
+            n_trees is None
+            and len(use) >= 2
+            and dense.shape[0] * len(use) >= self._FLAT_MIN_PAIRS
+        ):
+            # big batches route through the flattened ensemble in one
+            # level-wise sweep instead of the per-tree Python loop
+            out = self.flatten().predict(dense)
+        else:
+            out = np.full(dense.shape[0], self.base_score, dtype=np.float64)
+            for tree in use:
+                out += tree.predict(dense)
         if transform:
             out = self.params.loss_fn.transform(out)
         return out

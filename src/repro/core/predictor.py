@@ -20,28 +20,25 @@ from ..data.matrix import CSRMatrix, DenseMatrix
 from ..gpusim.kernel import GpuDevice
 from .booster_model import GBDTModel
 
-__all__ = ["predict_on_device"]
+__all__ = ["charge_prediction_kernels", "predict_on_device"]
 
 
-def predict_on_device(
+def charge_prediction_kernels(
     device: GpuDevice,
-    model: GBDTModel,
-    X: CSRMatrix | DenseMatrix | np.ndarray,
     *,
+    n_rows: float,
+    n_trees: int,
+    avg_depth: float,
     row_scale: float = 1.0,
-    transform: bool = False,
-) -> np.ndarray:
-    """Predict for all rows of ``X`` using instance x tree parallelism."""
-    if isinstance(X, (CSRMatrix, DenseMatrix)):
-        n = X.n_rows
-    else:
-        n = np.asarray(X).shape[0]
-    rows = n * row_scale
-    n_trees = max(model.n_trees, 1)
-    avg_depth = max(
-        1.0, float(np.mean([t.max_depth() for t in model.trees])) if model.trees else 1.0
-    )
+) -> None:
+    """Record the Section III-D prediction kernels on ``device``'s ledger.
 
+    Shared by :func:`predict_on_device` and the serving path
+    (:class:`~repro.serve.batcher.MicroBatcher`), so a batched flush is
+    charged exactly what the ad-hoc predictor would have been.
+    """
+    rows = n_rows * row_scale
+    n_trees = max(n_trees, 1)
     with device.phase("predict"):
         # one thread per (instance, tree): traversal fetches a node record
         # (~24 B) and an attribute value (~8 B) per level, data-dependent
@@ -63,4 +60,28 @@ def predict_on_device(
         )
         device.transfer("download_predictions", rows * 4, direction="d2h", scale=False)
 
+
+def predict_on_device(
+    device: GpuDevice,
+    model: GBDTModel,
+    X: CSRMatrix | DenseMatrix | np.ndarray,
+    *,
+    row_scale: float = 1.0,
+    transform: bool = False,
+) -> np.ndarray:
+    """Predict for all rows of ``X`` using instance x tree parallelism."""
+    if isinstance(X, (CSRMatrix, DenseMatrix)):
+        n = X.n_rows
+    else:
+        n = np.asarray(X).shape[0]
+    avg_depth = max(
+        1.0, float(np.mean([t.max_depth() for t in model.trees])) if model.trees else 1.0
+    )
+    charge_prediction_kernels(
+        device,
+        n_rows=n,
+        n_trees=model.n_trees,
+        avg_depth=avg_depth,
+        row_scale=row_scale,
+    )
     return model.predict(X, transform=transform)

@@ -1,0 +1,247 @@
+"""Micro-batching request queue with backpressure and graceful degradation.
+
+Single-row prediction requests are expensive to serve one by one (every call
+pays the full per-tree dispatch overhead); batches amortize it.  The
+:class:`MicroBatcher` accumulates requests in a bounded queue and flushes a
+batch through the :class:`~repro.serve.flat_model.FlatEnsemble` when either
+
+* ``max_batch`` requests are waiting, or
+* the oldest request has waited ``max_wait`` seconds.
+
+Flushes are *pull-driven*: the serving loop calls :meth:`MicroBatcher.poll`
+on every tick (and :meth:`MicroBatcher.drain` at shutdown).  Between polls --
+e.g. while a previous batch is being predicted -- the queue is the only
+buffer, and when it reaches ``max_queue`` the batcher degrades gracefully
+instead of growing without bound:
+
+* ``overload="degrade"`` serves the overflow request immediately through the
+  scalar per-row fallback (higher unit cost, zero queue wait, never lost);
+* ``overload="reject"`` applies backpressure by raising :class:`QueueFull`.
+
+An optional feature-hash cache short-circuits repeated feature vectors; it is
+keyed to the active model version and invalidated on hot swap.  A simulated
+:class:`~repro.gpusim.kernel.GpuDevice` may ride along: every flushed batch
+is charged through the Section III-D prediction-kernel cost model, keeping
+modeled serving cost honest.
+
+The clock is injectable (``clock=`` or explicit ``now=`` arguments), so
+batching policy is testable with a simulated clock and usable with
+``time.monotonic`` in a real loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Optional, Tuple
+
+import numpy as np
+
+from ..core.predictor import charge_prediction_kernels
+from ..gpusim.kernel import GpuDevice
+from .flat_model import FlatEnsemble
+from .registry import DEFAULT_NAME, ModelRegistry
+from .stats import ServingStats
+
+__all__ = ["BatchPolicy", "MicroBatcher", "PendingPrediction", "QueueFull"]
+
+
+class QueueFull(RuntimeError):
+    """Raised (under ``overload="reject"``) when the bounded queue is full."""
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs governing when batches flush and how overload is handled."""
+
+    #: flush as soon as this many requests are queued
+    max_batch: int = 256
+    #: flush when the oldest queued request has waited this long (seconds)
+    max_wait: float = 0.002
+    #: bounded queue depth; submissions beyond it degrade or reject
+    max_queue: int = 2048
+    #: feature-hash prediction cache entries (0 disables the cache)
+    cache_size: int = 0
+    #: "degrade" (serve overflow per-row immediately) or "reject" (QueueFull)
+    overload: str = "degrade"
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1 or self.max_queue < 1:
+            raise ValueError("max_batch and max_queue must be positive")
+        if self.max_wait < 0 or self.cache_size < 0:
+            raise ValueError("max_wait and cache_size must be non-negative")
+        if self.overload not in ("degrade", "reject"):
+            raise ValueError(f"unknown overload policy {self.overload!r}")
+
+
+class PendingPrediction:
+    """Handle returned by :meth:`MicroBatcher.submit`; resolved at flush."""
+
+    __slots__ = ("done", "value", "version", "cache_hit", "degraded")
+
+    def __init__(self) -> None:
+        self.done = False
+        self.value: float | None = None
+        self.version: str | None = None
+        self.cache_hit = False
+        self.degraded = False
+
+    def result(self) -> float:
+        if not self.done:
+            raise RuntimeError("prediction not flushed yet (poll or drain the batcher)")
+        assert self.value is not None
+        return self.value
+
+    def _resolve(self, value: float, version: str | None) -> None:
+        self.value = float(value)
+        self.version = version
+        self.done = True
+
+
+class MicroBatcher:
+    """Groups single-row requests into batched flat-ensemble predictions.
+
+    Parameters
+    ----------
+    source:
+        A :class:`FlatEnsemble` to serve, or a :class:`ModelRegistry` whose
+        active version (of ``model_name``) is resolved at every submit/flush
+        -- so a hot swap takes effect on the *next* batch, and every request
+        within one batch is served by a single consistent version.
+    policy:
+        Flush/overload/caching policy.
+    stats:
+        Metrics sink (a fresh :class:`ServingStats` when omitted).
+    device:
+        Optional simulated GPU; each flushed batch charges the prediction
+        kernels so modeled serving cost accumulates in its ledger.
+    clock:
+        0-arg callable returning seconds; every public method also accepts an
+        explicit ``now`` for simulated time.
+    """
+
+    def __init__(
+        self,
+        source: FlatEnsemble | ModelRegistry,
+        *,
+        model_name: str = DEFAULT_NAME,
+        policy: BatchPolicy | None = None,
+        stats: ServingStats | None = None,
+        device: GpuDevice | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not isinstance(source, (FlatEnsemble, ModelRegistry)):
+            raise TypeError("source must be a FlatEnsemble or a ModelRegistry")
+        self._source = source
+        self._model_name = model_name
+        self.policy = policy if policy is not None else BatchPolicy()
+        self.stats = stats if stats is not None else ServingStats()
+        self.device = device
+        self._clock = clock
+        self._queue: Deque[Tuple[np.ndarray, float, PendingPrediction]] = deque()
+        self._cache: "OrderedDict[bytes, float]" = OrderedDict()
+        self._cache_version: Optional[str] = None
+
+    # -------------------------------------------------------------- resolving
+    def _resolve(self) -> Tuple[FlatEnsemble, Optional[str]]:
+        """Active ensemble + version id; drops the cache on version change."""
+        if isinstance(self._source, ModelRegistry):
+            active = self._source.active(self._model_name)
+            flat, version = active.flat, active.version
+        else:
+            flat, version = self._source, None
+        if version != self._cache_version:
+            self._cache.clear()
+            self._cache_version = version
+        return flat, version
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------- submitting
+    def submit(self, row: np.ndarray, now: float | None = None) -> PendingPrediction:
+        """Enqueue one feature vector; returns its result handle.
+
+        Completes immediately on a cache hit or (under overload) through the
+        degraded per-row path; otherwise the handle resolves at the flush
+        that includes it.
+        """
+        now = self._clock() if now is None else now
+        self.stats.note_time(now)
+        row = np.asarray(row, dtype=np.float64).reshape(-1)
+        handle = PendingPrediction()
+
+        if self.policy.cache_size > 0:
+            flat, version = self._resolve()
+            key = row.tobytes()
+            hit = key in self._cache
+            self.stats.record_lookup(hit)
+            if hit:
+                self._cache.move_to_end(key)
+                handle.cache_hit = True
+                handle._resolve(self._cache[key], version)
+                self.stats.record_request(0.0)
+                return handle
+
+        if len(self._queue) >= self.policy.max_queue:
+            if self.policy.overload == "reject":
+                self.stats.record_reject()
+                raise QueueFull(
+                    f"queue at max_queue={self.policy.max_queue}; request rejected"
+                )
+            flat, version = self._resolve()
+            handle.degraded = True
+            handle._resolve(flat.predict_one(row), version)
+            self.stats.record_request(0.0, degraded=True)
+            return handle
+
+        self._queue.append((row, now, handle))
+        return handle
+
+    # --------------------------------------------------------------- flushing
+    def poll(self, now: float | None = None) -> int:
+        """One serving-loop tick: flush every full batch, then a partial one
+        if the oldest request exceeded ``max_wait``.  Returns rows flushed."""
+        now = self._clock() if now is None else now
+        flushed = 0
+        while len(self._queue) >= self.policy.max_batch:
+            flushed += self._flush_one(now)
+        if self._queue and now - self._queue[0][1] >= self.policy.max_wait:
+            flushed += self._flush_one(now)
+        return flushed
+
+    def drain(self, now: float | None = None) -> int:
+        """Flush everything still queued (shutdown / end of bench)."""
+        now = self._clock() if now is None else now
+        flushed = 0
+        while self._queue:
+            flushed += self._flush_one(now)
+        return flushed
+
+    def _flush_one(self, now: float) -> int:
+        take = min(len(self._queue), self.policy.max_batch)
+        batch = [self._queue.popleft() for _ in range(take)]
+        rows = np.stack([row for row, _, _ in batch])
+        flat, version = self._resolve()
+        values = flat.predict(rows)
+        if self.device is not None:
+            charge_prediction_kernels(
+                self.device,
+                n_rows=take,
+                n_trees=flat.n_trees,
+                avg_depth=max(1.0, flat.mean_depth),
+            )
+        self.stats.note_time(now)
+        self.stats.record_batch(take)
+        cache_on = self.policy.cache_size > 0
+        for (row, t_enq, handle), value in zip(batch, values):
+            handle._resolve(value, version)
+            self.stats.record_request(max(0.0, now - t_enq))
+            if cache_on:
+                self._cache[row.tobytes()] = float(value)
+                self._cache.move_to_end(row.tobytes())
+                while len(self._cache) > self.policy.cache_size:
+                    self._cache.popitem(last=False)
+        return take

@@ -1,0 +1,128 @@
+"""Serving metrics: latency percentiles, throughput, cache/shed counters.
+
+One :class:`ServingStats` instance rides along with a
+:class:`~repro.serve.batcher.MicroBatcher`; every request outcome is recorded
+here, and :meth:`ServingStats.summary` emits a JSON-safe dict the regression
+harness (:mod:`repro.bench.regress`) can persist and diff.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["ServingStats"]
+
+
+class ServingStats:
+    """Counters and latency samples for one serving session.
+
+    Latencies are recorded in seconds from request enqueue to batch flush
+    (cache hits and shed requests complete immediately and record zero queue
+    wait).  Timestamps come from whatever clock the batcher uses -- wall or
+    simulated -- so percentiles are meaningful either way.
+    """
+
+    def __init__(self) -> None:
+        self.latencies: List[float] = []
+        self.batch_sizes: List[int] = []
+        self.n_requests = 0
+        self.n_batches = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.shed = 0
+        self.rejected = 0
+        self._t_first: float | None = None
+        self._t_last: float | None = None
+
+    # -------------------------------------------------------------- recording
+    def note_time(self, now: float) -> None:
+        """Track the observation window for :meth:`throughput`."""
+        if self._t_first is None:
+            self._t_first = now
+        self._t_last = now
+
+    def record_lookup(self, hit: bool) -> None:
+        """One prediction-cache probe (recorded at submit time)."""
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+    def record_request(self, latency: float, *, degraded: bool = False) -> None:
+        """One completed request (served from a batch, the cache, or the
+        degraded per-row fallback)."""
+        self.n_requests += 1
+        self.latencies.append(float(latency))
+        if degraded:
+            self.shed += 1
+
+    def record_reject(self) -> None:
+        """One request turned away by backpressure."""
+        self.rejected += 1
+
+    def record_batch(self, size: int) -> None:
+        self.n_batches += 1
+        self.batch_sizes.append(int(size))
+
+    # ------------------------------------------------------------- reductions
+    def percentile(self, q: float) -> float:
+        """Latency percentile in seconds (0.0 when nothing was recorded)."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        looked = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked if looked else 0.0
+
+    def throughput(self, duration: float | None = None) -> float:
+        """Completed requests per second over ``duration`` (defaults to the
+        observed first-to-last event window)."""
+        if duration is None:
+            if self._t_first is None or self._t_last is None:
+                return 0.0
+            duration = self._t_last - self._t_first
+        return self.n_requests / duration if duration > 0 else 0.0
+
+    def summary(self, duration: float | None = None) -> Dict[str, float]:
+        """JSON-safe snapshot for reports and regression tracking."""
+        return {
+            "n_requests": self.n_requests,
+            "n_batches": self.n_batches,
+            "mean_batch_size": self.mean_batch_size,
+            "p50_ms": self.p50 * 1e3,
+            "p95_ms": self.p95 * 1e3,
+            "p99_ms": self.p99 * 1e3,
+            "throughput_rps": self.throughput(duration),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "shed": self.shed,
+            "rejected": self.rejected,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ServingStats(requests={self.n_requests}, batches={self.n_batches}, "
+            f"p50={self.p50 * 1e3:.3g}ms, p99={self.p99 * 1e3:.3g}ms, "
+            f"shed={self.shed}, rejected={self.rejected})"
+        )

@@ -20,7 +20,7 @@ class TestMain:
     def test_all_alias_contains_every_experiment(self):
         assert set(EXPERIMENTS) == {
             "table2", "fig8a", "fig8b", "fig9", "fig10a", "fig10b", "cases", "devices",
-            "approx", "crossover", "multigpu", "threads",
+            "approx", "crossover", "multigpu", "threads", "serve-bench",
         }
 
     def test_unknown_experiment_rejected(self):

@@ -1,0 +1,57 @@
+"""Tier-1 cost-model regression gate against ``results/baseline.json``.
+
+The CLI has always supported ``--compare`` for ad-hoc drift checks; this
+wires the same machinery into the default test run, so a PR that moves any
+modeled number beyond tolerance fails CI instead of slipping by unnoticed.
+
+Only the cheap full-scale experiments are recomputed here (the complete
+sweep is ``make compare``); they exercise the whole cost model -- device
+specs, kernel launches, transfer and memory accounting -- end to end.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.regress import compare_results, load_results, to_payload
+
+BASELINE = Path(__file__).resolve().parent.parent / "results" / "baseline.json"
+
+#: fast-to-recompute experiments (seconds each, full scale) that still cover
+#: the cost model broadly: CPU thread scaling, multi-GPU partitioning and
+#: the cross-device sweep
+CHECKED = {
+    "threads": experiments.run_thread_sweep,
+    "multigpu": experiments.run_multigpu_scaling,
+    "devices": experiments.run_device_sweep,
+}
+
+RTOL = 0.05
+
+
+@pytest.fixture(scope="module")
+def baseline_doc():
+    if not BASELINE.exists():
+        pytest.skip("results/baseline.json not present")
+    return load_results(BASELINE)
+
+
+@pytest.mark.parametrize("name", sorted(CHECKED))
+def test_modeled_numbers_match_baseline(baseline_doc, name):
+    assert name in baseline_doc["experiments"], f"{name} missing from baseline"
+    fresh = {"experiments": {name: to_payload(CHECKED[name](False))}}
+    old = {"experiments": {name: baseline_doc["experiments"][name]}}
+    drifts = compare_results(old, fresh, rtol=RTOL)
+    assert not drifts, "cost-model drift vs results/baseline.json:\n" + "\n".join(
+        f"  {d}" for d in drifts
+    )
+
+
+def test_baseline_document_is_wellformed():
+    if not BASELINE.exists():
+        pytest.skip("results/baseline.json not present")
+    doc = json.loads(BASELINE.read_text(encoding="utf-8"))
+    assert "experiments" in doc and "meta" in doc
+    assert doc["meta"].get("quick") is False, "baseline must be full-scale"

@@ -1,0 +1,323 @@
+"""Unit tests for the micro-batcher, prediction cache, registry and stats."""
+
+import numpy as np
+import pytest
+
+from repro import GBDTParams, GPUGBDTTrainer, GpuDevice, TITAN_X_PASCAL
+from repro.serve import (
+    BatchPolicy,
+    FlatEnsemble,
+    MicroBatcher,
+    ModelRegistry,
+    PendingPrediction,
+    QueueFull,
+    ServingStats,
+)
+
+
+class FakeClock:
+    """Deterministic injectable clock."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> float:
+        self.t += dt
+        return self.t
+
+
+@pytest.fixture
+def trained(susy_small):
+    ds = susy_small
+    model = GPUGBDTTrainer(GBDTParams(n_trees=6, max_depth=4)).fit(ds.X, ds.y)
+    return ds, model
+
+
+@pytest.fixture
+def serving(trained):
+    ds, model = trained
+    rng = np.random.default_rng(1)
+    rows = rng.normal(size=(64, ds.X.n_cols))
+    return model.flatten(), rows
+
+
+# ------------------------------------------------------------ flush triggers
+class TestFlushing:
+    def test_max_batch_flush_on_poll(self, serving):
+        flat, rows = serving
+        clock = FakeClock()
+        mb = MicroBatcher(flat, policy=BatchPolicy(max_batch=8, max_wait=1.0), clock=clock)
+        handles = [mb.submit(r) for r in rows[:10]]
+        assert mb.queue_depth == 10
+        assert mb.poll() == 8  # one full batch; 2 young requests remain queued
+        assert all(h.done for h in handles[:8])
+        assert not any(h.done for h in handles[8:])
+        expected = flat.predict(rows[:10])
+        for h, e in zip(handles[:8], expected):
+            assert h.result() == pytest.approx(e, abs=1e-12)
+
+    def test_max_wait_flushes_partial_batch(self, serving):
+        flat, rows = serving
+        clock = FakeClock()
+        mb = MicroBatcher(flat, policy=BatchPolicy(max_batch=32, max_wait=0.005), clock=clock)
+        handles = [mb.submit(r) for r in rows[:3]]
+        assert mb.poll() == 0  # under max_batch and under max_wait
+        clock.advance(0.004)
+        assert mb.poll() == 0  # still too young
+        clock.advance(0.002)  # oldest now waited 6 ms > 5 ms
+        assert mb.poll() == 3
+        assert all(h.done for h in handles)
+        # recorded latency is the queue wait under the simulated clock
+        assert mb.stats.p99 == pytest.approx(0.006, abs=1e-9)
+
+    def test_unflushed_result_raises(self, serving):
+        flat, rows = serving
+        mb = MicroBatcher(flat, policy=BatchPolicy(max_batch=8), clock=FakeClock())
+        h = mb.submit(rows[0])
+        with pytest.raises(RuntimeError, match="not flushed"):
+            h.result()
+
+    def test_drain_flushes_everything(self, serving):
+        flat, rows = serving
+        mb = MicroBatcher(flat, policy=BatchPolicy(max_batch=8, max_wait=10.0), clock=FakeClock())
+        handles = [mb.submit(r) for r in rows[:20]]
+        assert mb.drain() == 20
+        assert mb.queue_depth == 0
+        assert all(h.done for h in handles)
+        assert mb.stats.n_batches == 3  # 8 + 8 + 4
+        assert mb.stats.mean_batch_size == pytest.approx(20 / 3)
+
+
+# ------------------------------------------------------------- backpressure
+class TestOverload:
+    def test_reject_policy_raises_and_counts(self, serving):
+        flat, rows = serving
+        policy = BatchPolicy(max_batch=64, max_wait=1.0, max_queue=4, overload="reject")
+        mb = MicroBatcher(flat, policy=policy, clock=FakeClock())
+        for r in rows[:4]:
+            mb.submit(r)
+        with pytest.raises(QueueFull):
+            mb.submit(rows[4])
+        with pytest.raises(QueueFull):
+            mb.submit(rows[5])
+        assert mb.stats.rejected == 2
+        assert mb.queue_depth == 4  # queued requests unharmed
+        mb.drain()
+        assert mb.stats.n_requests == 4
+
+    def test_degrade_policy_serves_overflow_per_row(self, serving):
+        flat, rows = serving
+        policy = BatchPolicy(max_batch=64, max_wait=1.0, max_queue=4, overload="degrade")
+        mb = MicroBatcher(flat, policy=policy, clock=FakeClock())
+        queued = [mb.submit(r) for r in rows[:4]]
+        shed = mb.submit(rows[4])
+        assert shed.done and shed.degraded
+        assert shed.result() == pytest.approx(flat.predict(rows[4:5])[0], abs=1e-9)
+        assert mb.stats.shed == 1 and mb.stats.rejected == 0
+        assert not queued[0].done  # queue untouched by the degraded request
+        mb.drain()
+        expected = flat.predict(rows[:4])
+        for h, e in zip(queued, expected):
+            assert h.result() == pytest.approx(e, abs=1e-12)
+
+
+# -------------------------------------------------------------------- cache
+class TestCache:
+    def test_hit_and_miss_accounting(self, serving):
+        flat, rows = serving
+        policy = BatchPolicy(max_batch=4, max_wait=1.0, cache_size=16)
+        mb = MicroBatcher(flat, policy=policy, clock=FakeClock())
+        for r in rows[:4]:
+            mb.submit(r)
+        mb.poll()
+        hit = mb.submit(rows[0])
+        assert hit.done and hit.cache_hit
+        assert hit.result() == pytest.approx(flat.predict(rows[:1])[0], abs=1e-12)
+        assert mb.stats.cache_hits == 1
+        assert mb.stats.cache_misses == 4
+        miss = mb.submit(rows[10])
+        assert not miss.done
+        assert mb.stats.cache_misses == 5
+
+    def test_lru_eviction(self, serving):
+        flat, rows = serving
+        policy = BatchPolicy(max_batch=4, max_wait=1.0, cache_size=4)
+        mb = MicroBatcher(flat, policy=policy, clock=FakeClock())
+        for r in rows[:8]:
+            mb.submit(r)
+        mb.drain()
+        assert not mb.submit(rows[0]).done      # evicted (first batch)
+        assert mb.submit(rows[7]).cache_hit     # still resident (last batch)
+
+    def test_cache_disabled_by_default(self, serving):
+        flat, rows = serving
+        mb = MicroBatcher(flat, policy=BatchPolicy(max_batch=2), clock=FakeClock())
+        mb.submit(rows[0])
+        mb.submit(rows[0])
+        mb.poll()
+        assert mb.stats.cache_hits == 0
+
+
+# ----------------------------------------------------------- registry + swap
+class TestRegistryServing:
+    def _two_models(self, susy_small):
+        ds = susy_small
+        a = GPUGBDTTrainer(GBDTParams(n_trees=3, max_depth=3)).fit(ds.X, ds.y)
+        b = GPUGBDTTrainer(GBDTParams(n_trees=9, max_depth=4)).fit(ds.X, ds.y)
+        return ds, a, b
+
+    def test_hot_swap_mid_stream_is_batch_consistent(self, susy_small):
+        ds, model_a, model_b = self._two_models(susy_small)
+        rng = np.random.default_rng(3)
+        rows = rng.normal(size=(8, ds.X.n_cols))
+        registry = ModelRegistry()
+        va = registry.publish(model_a)
+        mb = MicroBatcher(registry, policy=BatchPolicy(max_batch=64, max_wait=1.0),
+                          clock=FakeClock())
+        first = [mb.submit(r) for r in rows[:4]]
+        mb.drain()
+        vb = registry.publish(model_b)  # hot swap between batches
+        second = [mb.submit(r) for r in rows[4:]]
+        mb.drain()
+        assert {h.version for h in first} == {va}
+        assert {h.version for h in second} == {vb}
+        exp_a = model_a.flatten().predict(rows[:4])
+        exp_b = model_b.flatten().predict(rows[4:])
+        for h, e in zip(first, exp_a):
+            assert h.result() == pytest.approx(e, abs=1e-9)
+        for h, e in zip(second, exp_b):
+            assert h.result() == pytest.approx(e, abs=1e-9)
+
+    def test_swap_invalidates_prediction_cache(self, susy_small):
+        ds, model_a, model_b = self._two_models(susy_small)
+        row = np.zeros(ds.X.n_cols)
+        registry = ModelRegistry()
+        registry.publish(model_a)
+        mb = MicroBatcher(registry, policy=BatchPolicy(max_batch=1, cache_size=8),
+                          clock=FakeClock())
+        mb.submit(row)
+        mb.drain()
+        assert mb.submit(row).cache_hit
+        registry.publish(model_b)
+        after = mb.submit(row)
+        assert not after.cache_hit  # stale cache dropped with the old version
+        mb.drain()
+        assert after.result() == pytest.approx(
+            model_b.flatten().predict(row[None, :])[0], abs=1e-9
+        )
+
+    def test_rollback_restores_previous_version(self, susy_small):
+        ds, model_a, model_b = self._two_models(susy_small)
+        registry = ModelRegistry()
+        va = registry.publish(model_a)
+        vb = registry.publish(model_b)
+        assert registry.active().version == vb
+        assert registry.rollback() == va
+        assert registry.active().version == va
+        assert registry.versions() == [va, vb]
+
+    def test_registry_errors(self, susy_small):
+        ds, model_a, _ = self._two_models(susy_small)
+        registry = ModelRegistry()
+        with pytest.raises(KeyError):
+            registry.active()
+        registry.publish(model_a)
+        with pytest.raises(KeyError):
+            registry.activate("default", "nope")
+        with pytest.raises(KeyError):
+            registry.rollback()  # only one version active so far
+
+    def test_round_trip_preserves_predictions(self, susy_small):
+        ds, model_a, _ = self._two_models(susy_small)
+        registry = ModelRegistry()
+        registry.publish(model_a)
+        served = registry.active().flat.predict(ds.X_test)
+        assert np.allclose(served, model_a.predict(ds.X_test), atol=1e-9)
+        restored = registry.active().restore()
+        assert np.allclose(restored.predict(ds.X_test), served, atol=1e-9)
+
+
+# ------------------------------------------------------------ device charge
+class TestDeviceCharging:
+    def test_flush_charges_prediction_kernels(self, serving):
+        flat, rows = serving
+        device = GpuDevice(TITAN_X_PASCAL)
+        mb = MicroBatcher(flat, policy=BatchPolicy(max_batch=16, max_wait=1.0),
+                          device=device, clock=FakeClock())
+        for r in rows[:16]:
+            mb.submit(r)
+        mb.poll()
+        k = next(k for k in device.ledger.kernels if k.name == "predict_instance_x_tree")
+        assert k.work.elements == 16 * flat.n_trees
+        assert k.phase == "predict"
+        assert device.elapsed_seconds() > 0.0
+
+    def test_per_batch_charges_accumulate(self, serving):
+        flat, rows = serving
+        device = GpuDevice(TITAN_X_PASCAL)
+        mb = MicroBatcher(flat, policy=BatchPolicy(max_batch=8, max_wait=1.0),
+                          device=device, clock=FakeClock())
+        for r in rows[:24]:
+            mb.submit(r)
+        mb.drain()
+        launches = [k for k in device.ledger.kernels if k.name == "predict_instance_x_tree"]
+        assert len(launches) == 3
+
+
+# -------------------------------------------------------------------- stats
+class TestStats:
+    def test_percentiles_match_numpy(self):
+        stats = ServingStats()
+        lats = [0.001 * i for i in range(1, 101)]
+        for lat in lats:
+            stats.record_request(lat)
+        assert stats.p50 == pytest.approx(np.percentile(lats, 50))
+        assert stats.p95 == pytest.approx(np.percentile(lats, 95))
+        assert stats.p99 == pytest.approx(np.percentile(lats, 99))
+
+    def test_empty_stats_are_zero(self):
+        stats = ServingStats()
+        assert stats.p50 == 0.0 and stats.throughput() == 0.0
+        assert stats.cache_hit_rate == 0.0
+
+    def test_throughput_window(self):
+        stats = ServingStats()
+        stats.note_time(10.0)
+        for _ in range(50):
+            stats.record_request(0.0)
+        stats.note_time(15.0)
+        assert stats.throughput() == pytest.approx(10.0)
+        assert stats.throughput(duration=25.0) == pytest.approx(2.0)
+
+    def test_summary_is_json_safe(self, serving):
+        import json
+
+        flat, rows = serving
+        mb = MicroBatcher(flat, policy=BatchPolicy(max_batch=4, cache_size=4),
+                          clock=FakeClock())
+        for r in rows[:6]:
+            mb.submit(r)
+        mb.drain()
+        summary = mb.stats.summary(duration=1.0)
+        parsed = json.loads(json.dumps(summary))
+        assert parsed["n_requests"] == 6
+        assert parsed["n_batches"] == 2
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(overload="panic")
+        with pytest.raises(ValueError):
+            BatchPolicy(max_wait=-1.0)
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(TypeError):
+            MicroBatcher(object())
+
+    def test_pending_prediction_repr_free_slots(self):
+        p = PendingPrediction()
+        assert not p.done and p.value is None
