@@ -10,7 +10,7 @@ from conftest import print_result
 @pytest.mark.benchmark(group="cases")
 def test_case_studies(benchmark, quick):
     result = benchmark.pedantic(lambda: run_case_studies(quick=quick), rounds=1, iterations=1)
-    print_result(result, "Section IV-E case studies (credit risk / malware / Kaggle)")
+    print_result(result, "Section IV-E case studies (credit risk / malware / Kaggle)", bench="cases")
 
     assert len(result.rows) == 3
     # every application-level scenario benefits from the GPU

@@ -11,7 +11,7 @@ from conftest import print_result
 @pytest.mark.benchmark(group="extensions")
 def test_exact_vs_approx(benchmark, quick):
     result = benchmark.pedantic(lambda: run_exact_vs_approx(quick=quick), rounds=1, iterations=1)
-    print_result(result, "Extension -- exact vs. histogram (approximate) training")
+    print_result(result, "Extension -- exact vs. histogram (approximate) training", bench="exact_vs_approx")
 
     for r in result.rows:
         # histograms are cheaper per level on every dataset
@@ -30,7 +30,7 @@ def test_exact_vs_approx(benchmark, quick):
 @pytest.mark.benchmark(group="extensions")
 def test_crossover(benchmark, quick):
     result = benchmark.pedantic(lambda: run_crossover(quick=quick), rounds=1, iterations=1)
-    print_result(result, "Extension -- training time vs. dataset cardinality")
+    print_result(result, "Extension -- training time vs. dataset cardinality", bench="cardinality")
 
     gpu = result.series["GPU-GBDT (s)"]
     cpu1 = result.series["xgbst-1 (s)"]

@@ -11,7 +11,7 @@ from conftest import print_result
 @pytest.mark.benchmark(group="fig10")
 def test_fig10a(benchmark, quick):
     result = benchmark.pedantic(lambda: run_fig10a(quick=quick), rounds=1, iterations=1)
-    print_result(result, "Fig. 10a -- performance-price ratio (paper Section IV-D)")
+    print_result(result, "Fig. 10a -- performance-price ratio (paper Section IV-D)", bench="fig10a")
 
     lo, hi = PAPER_BANDS["perf_price_vs_cpu"]
     ratios = result.series["perf-price vs CPU"]

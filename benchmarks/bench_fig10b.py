@@ -10,7 +10,7 @@ from conftest import print_result
 @pytest.mark.benchmark(group="fig10")
 def test_fig10b(benchmark, quick):
     result = benchmark.pedantic(lambda: run_fig10b(quick=quick), rounds=1, iterations=1)
-    print_result(result, "Fig. 10b -- test error vs. time budget, susy (paper Section IV-E)")
+    print_result(result, "Fig. 10b -- test error vs. time budget, susy (paper Section IV-E)", bench="fig10b")
 
     # "for the same time budget ... GPU-GBDT obtains the model that clearly
     # has smaller test error": the GPU curve sits at or below the CPU curve

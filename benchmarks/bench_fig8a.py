@@ -10,7 +10,7 @@ from conftest import print_result
 @pytest.mark.benchmark(group="fig8")
 def test_fig8a(benchmark, quick):
     result = benchmark.pedantic(lambda: run_fig8a(quick=quick), rounds=1, iterations=1)
-    print_result(result, "Fig. 8a -- speedup vs. tree depth (paper Section IV-B)")
+    print_result(result, "Fig. 8a -- speedup vs. tree depth (paper Section IV-B)", bench="fig8a")
 
     for name, series in result.series.items():
         # GPU-GBDT consistently beats xgbst-40 at every depth

@@ -10,7 +10,7 @@ from conftest import print_result
 @pytest.mark.benchmark(group="fig8")
 def test_fig8b(benchmark, quick):
     result = benchmark.pedantic(lambda: run_fig8b(quick=quick), rounds=1, iterations=1)
-    print_result(result, "Fig. 8b -- speedup vs. number of trees (paper Section IV-B)")
+    print_result(result, "Fig. 8b -- speedup vs. number of trees (paper Section IV-B)", bench="fig8b")
 
     for name, series in result.series.items():
         assert all(s > 1.0 for s in series), name

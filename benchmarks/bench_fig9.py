@@ -10,7 +10,7 @@ from conftest import print_result
 @pytest.mark.benchmark(group="fig9")
 def test_fig9(benchmark, quick):
     result = benchmark.pedantic(lambda: run_fig9(quick=quick), rounds=1, iterations=1)
-    print_result(result, "Fig. 9 -- ablation of the five optimizations (paper Section IV-C)")
+    print_result(result, "Fig. 9 -- ablation of the five optimizations (paper Section IV-C)", bench="fig9")
 
     slow = result.slowdowns
     # "Two techniques (including SmartGD and Directly Split RLE) have quite

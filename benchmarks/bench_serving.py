@@ -16,7 +16,7 @@ from conftest import print_result
 @pytest.mark.benchmark(group="serving")
 def test_serving_bench(benchmark, quick):
     result = benchmark.pedantic(lambda: run_serving_bench(quick=quick), rounds=1, iterations=1)
-    print_result(result, "Serving bench -- flattened ensemble + micro-batching")
+    print_result(result, "Serving bench -- flattened ensemble + micro-batching", bench="serving")
 
     # the whole point of the subsystem: batched serving must be at least an
     # order of magnitude faster than serving each request through the

@@ -16,7 +16,7 @@ from conftest import print_result
 @pytest.mark.benchmark(group="table2")
 def test_table2(benchmark, quick):
     result = benchmark.pedantic(lambda: run_table2(quick=quick), rounds=1, iterations=1)
-    print_result(result, "Table II -- overall comparison (paper Section IV-A)")
+    print_result(result, "Table II -- overall comparison (paper Section IV-A)", bench="table2")
 
     lo40, hi40 = PAPER_BANDS["speedup_vs_xgbst40"]
     oom = {r["dataset"] for r in result.rows if r["xgbstgpu"] is None}

@@ -11,7 +11,16 @@ wall time measures how long the reproduction harness takes, which the
 pytest-benchmark columns report.
 
 ``--quick-bench`` shrinks datasets for CI-speed smoke runs.
+
+Each benchmark also emits its numeric results as a JSONL metrics file
+(``BENCH_<name>.jsonl``) through the shared observability registry
+(:mod:`repro.obs`), so per-run numbers can be diffed across commits without
+scraping the printed tables.  Files land in ``$BENCH_METRICS_DIR`` (default:
+``benchmarks/out/``).
 """
+
+import os
+from pathlib import Path
 
 import pytest
 
@@ -30,8 +39,46 @@ def quick(request) -> bool:
     return request.config.getoption("--quick-bench")
 
 
-def print_result(result, header: str) -> None:
-    """Echo an experiment's table under a visible banner."""
+def _numeric_leaves(payload, prefix=""):
+    """Yield ``(dotted.path, float)`` for every numeric leaf of a payload."""
+    if isinstance(payload, bool):
+        yield prefix, float(payload)
+    elif isinstance(payload, (int, float)):
+        yield prefix, float(payload)
+    elif isinstance(payload, dict):
+        for k in sorted(payload):
+            sub = f"{prefix}.{k}" if prefix else str(k)
+            yield from _numeric_leaves(payload[k], sub)
+    elif isinstance(payload, (list, tuple)):
+        for i, v in enumerate(payload):
+            sub = f"{prefix}.{i}" if prefix else str(i)
+            yield from _numeric_leaves(v, sub)
+    # strings / None / everything else: not a metric
+
+
+def emit_bench_metrics(result, name: str) -> Path:
+    """Flatten ``result``'s numeric fields into gauges and write them as
+    ``BENCH_<name>.jsonl`` via the obs registry; returns the file path."""
+    from repro.bench.regress import to_payload
+    from repro.obs import MetricsRegistry, write_jsonl
+
+    registry = MetricsRegistry(max_label_sets=8192)
+    for key, value in _numeric_leaves(to_payload(result)):
+        registry.gauge(
+            "bench_value", "flattened benchmark scalar", bench=name, key=key
+        ).set(value)
+    out_dir = Path(os.environ.get("BENCH_METRICS_DIR", Path(__file__).parent / "out"))
+    path = out_dir / f"BENCH_{name}.jsonl"
+    write_jsonl(path, registry=registry)
+    return path
+
+
+def print_result(result, header: str, bench: str | None = None) -> None:
+    """Echo an experiment's table under a visible banner; when ``bench`` is
+    given, also emit the run's numbers as a JSONL metrics file."""
     bar = "=" * 72
     print(f"\n{bar}\n{header}\n{bar}")
     print(result.text)
+    if bench is not None:
+        path = emit_bench_metrics(result, bench)
+        print(f"[bench metrics -> {path}]")

@@ -48,6 +48,16 @@ from .gpusim import (
 )
 from .losses import CustomLoss, HuberLoss, LogisticLoss, Loss, PoissonLoss, SquaredErrorLoss, get_loss
 from .metrics import accuracy, error_rate, mean_abs_error, mse, rmse
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+    span,
+    traced,
+    use_registry,
+    use_tracer,
+)
 from .serve import (
     BatchPolicy,
     FlatEnsemble,
@@ -103,5 +113,13 @@ __all__ = [
     "MicroBatcher",
     "ModelRegistry",
     "ServingStats",
+    "MetricsRegistry",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "span",
+    "traced",
+    "use_registry",
+    "use_tracer",
     "__version__",
 ]

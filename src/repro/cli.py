@@ -9,6 +9,7 @@ Usage::
     python -m repro cases             # Section IV-E case studies
     python -m repro all               # everything
     python -m repro table2 --quick    # tiny smoke-scale run
+    python -m repro obs report        # instrumented run + phase breakdown
 
 ``gpu-gbdt`` (the installed console script) is an alias for ``python -m
 repro``.
@@ -42,8 +43,61 @@ EXPERIMENTS: Dict[str, Callable[[bool], object]] = {
 }
 
 
+def _obs_main(argv: list[str]) -> int:
+    """``gpu-gbdt obs report``: run an instrumented training and print the
+    wall-vs-modeled phase breakdown, optionally exporting trace/metrics."""
+    parser = argparse.ArgumentParser(
+        prog="gpu-gbdt obs",
+        description="Observability tooling: trace an instrumented training run.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report", help="train with tracing on and print the phase/metric breakdown"
+    )
+    report.add_argument(
+        "--quick", action="store_true", help="smoke-scale rows and tree count"
+    )
+    report.add_argument("--dataset", default="covtype", help="dataset name (default covtype)")
+    report.add_argument(
+        "--trees", type=int, default=None, help="boosting rounds (default 20, quick 5)"
+    )
+    report.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="export the merged host+device Chrome trace (open at ui.perfetto.dev)",
+    )
+    report.add_argument(
+        "--jsonl", metavar="FILE", default=None, help="export spans + metrics as JSONL"
+    )
+    report.add_argument(
+        "--prom",
+        metavar="FILE",
+        default=None,
+        help="export metrics in Prometheus text format",
+    )
+    args = parser.parse_args(argv)
+
+    from .obs.report import run_obs_report
+
+    rep = run_obs_report(
+        quick=args.quick,
+        dataset=args.dataset,
+        n_trees=args.trees,
+        trace_path=args.trace,
+        jsonl_path=args.jsonl,
+        prom_path=args.prom,
+    )
+    print(rep.text)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "obs":
+        return _obs_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="gpu-gbdt",
         description="Regenerate the tables and figures of 'Efficient Gradient "

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..data.matrix import CSRMatrix, DenseMatrix
 from ..gpusim.kernel import GpuDevice
+from ..obs import span
 from .booster_model import GBDTModel
 from .params import GBDTParams
 
@@ -126,42 +127,44 @@ class GradientBoostedTrees:
         y = np.asarray(y, dtype=np.float64)
         self.eval_history_ = None
         self.best_iteration_ = None
-        if self.backend == "gpu-gbdt":
-            from .trainer import GPUGBDTTrainer
+        with span("fit", backend=self.backend, n_rows=Xc.n_rows, n_cols=Xc.n_cols):
+            if self.backend == "gpu-gbdt":
+                from .trainer import GPUGBDTTrainer
 
-            if self.device is None:
-                self.device = GpuDevice()
-            trainer = GPUGBDTTrainer(self.params, self.device, row_scale=self.row_scale)
-            self.model_ = trainer.fit(Xc, y)
-            self.report_ = trainer.report
-        elif self.backend == "cpu-reference":
-            from ..cpu.exact_greedy import ReferenceTrainer
+                if self.device is None:
+                    self.device = GpuDevice()
+                trainer = GPUGBDTTrainer(self.params, self.device, row_scale=self.row_scale)
+                self.model_ = trainer.fit(Xc, y)
+                self.report_ = trainer.report
+            elif self.backend == "cpu-reference":
+                from ..cpu.exact_greedy import ReferenceTrainer
 
-            trainer = ReferenceTrainer(self.params)
-            self.model_ = trainer.fit(Xc, y)
-            self.report_ = None
-        elif self.backend == "xgb-gpu-dense":
-            from ..cpu.gpu_xgboost import DenseGpuXgboostTrainer
+                trainer = ReferenceTrainer(self.params)
+                self.model_ = trainer.fit(Xc, y)
+                self.report_ = None
+            elif self.backend == "xgb-gpu-dense":
+                from ..cpu.gpu_xgboost import DenseGpuXgboostTrainer
 
-            if self.device is None:
-                self.device = GpuDevice()
-            trainer = DenseGpuXgboostTrainer(self.params, self.device, row_scale=self.row_scale)
-            self.model_ = trainer.fit(Xc, y)
-            self.report_ = trainer.report
-        else:  # histogram
-            from ..approx.histogram_trainer import HistogramGBDTTrainer
+                if self.device is None:
+                    self.device = GpuDevice()
+                trainer = DenseGpuXgboostTrainer(self.params, self.device, row_scale=self.row_scale)
+                self.model_ = trainer.fit(Xc, y)
+                self.report_ = trainer.report
+            else:  # histogram
+                from ..approx.histogram_trainer import HistogramGBDTTrainer
 
-            if self.device is None:
-                self.device = GpuDevice()
-            trainer = HistogramGBDTTrainer(self.params, self.device, row_scale=self.row_scale)
-            self.model_ = trainer.fit(Xc, y)
-            self.report_ = None
+                if self.device is None:
+                    self.device = GpuDevice()
+                trainer = HistogramGBDTTrainer(self.params, self.device, row_scale=self.row_scale)
+                self.model_ = trainer.fit(Xc, y)
+                self.report_ = None
 
         if eval_set is not None:
             Xv, yv = eval_set
-            self.eval_history_ = self.model_.eval_history(
-                as_csr(Xv), np.asarray(yv, dtype=np.float64), metric=eval_metric
-            )
+            with span("eval_history", rounds=len(self.model_.trees)):
+                self.eval_history_ = self.model_.eval_history(
+                    as_csr(Xv), np.asarray(yv, dtype=np.float64), metric=eval_metric
+                )
             if early_stopping_rounds is not None:
                 if early_stopping_rounds < 1:
                     raise ValueError("early_stopping_rounds must be >= 1")

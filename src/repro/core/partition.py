@@ -42,6 +42,7 @@ from ..gpusim.primitives import (
     segmented_inclusive_cumsum,
     segmented_sum,
 )
+from ..obs import traced
 
 __all__ = ["PartitionPlan", "plan_partition", "partition_segments", "COUNTER_BYTES"]
 
@@ -112,6 +113,7 @@ def plan_partition(
     )
 
 
+@traced("partition")
 def partition_segments(
     device: GpuDevice,
     offsets: np.ndarray,

@@ -33,6 +33,7 @@ from ..gpusim.primitives import (
     segmented_sum,
     stream_compact,
 )
+from ..obs import traced
 
 __all__ = ["split_runs_direct", "split_runs_with_decompression"]
 
@@ -42,6 +43,7 @@ def _run_elem_offsets(rle: RunLengthColumns, n: int) -> np.ndarray:
     return np.concatenate((starts, [n])).astype(np.int64)
 
 
+@traced("rle_split_direct")
 def split_runs_direct(
     device: GpuDevice,
     rle: RunLengthColumns,
@@ -131,6 +133,7 @@ def split_runs_direct(
     )
 
 
+@traced("rle_split_decompress")
 def split_runs_with_decompression(
     device: GpuDevice,
     rle: RunLengthColumns,

@@ -30,6 +30,7 @@ import numpy as np
 from ..data.matrix import CSRMatrix
 from ..gpusim.kernel import GpuDevice
 from ..losses import Loss
+from ..obs import get_registry, span
 from .tree import DecisionTree
 
 __all__ = ["GradientComputer"]
@@ -92,6 +93,10 @@ class GradientComputer:
         if inst_ids.size == 0:
             return
         if self.use_smartgd:
+            get_registry().counter(
+                "smartgd_leaf_updates_total",
+                "instances whose yhat was updated from an intermediate leaf",
+            ).inc(inst_ids.size)
             self.yhat[inst_ids] += values
             self.device.launch(
                 "smartgd_apply_leaf_weights",
@@ -110,6 +115,12 @@ class GradientComputer:
 
     # ----------------------------------------------------------- computation
     def _flush_traversals(self) -> None:
+        if not self._pending:
+            return
+        with span("traversal_flush", trees=len(self._pending)):
+            self._flush_traversals_inner()
+
+    def _flush_traversals_inner(self) -> None:
         for tree in self._pending:
             if self._dense_nan is None:
                 assert self._X is not None
@@ -168,7 +179,8 @@ class GradientComputer:
     def compute(self) -> Tuple[np.ndarray, np.ndarray]:
         """``(g, h)`` for the next boosting round (Eq. (1))."""
         self._flush_traversals()
-        g, h = self.loss.gradients(self.y, self.yhat)
+        with span("loss_gradients", strategy="smartgd" if self.use_smartgd else "traversal"):
+            g, h = self.loss.gradients(self.y, self.yhat)
         rows = self._full_rows()
         self.device.launch(
             "compute_gradients",

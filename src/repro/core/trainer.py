@@ -23,6 +23,7 @@ all switch combinations and against the independent CPU reference.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import List
 
 import numpy as np
@@ -32,6 +33,7 @@ from ..data.rle import RunLengthColumns, decide_compression, encode_segments
 from ..data.sorted_columns import build_sorted_columns
 from ..gpusim.kernel import GpuDevice
 from ..gpusim.primitives import bincount_sum
+from ..obs import get_registry, span
 from .booster_model import GBDTModel
 from .params import GBDTParams
 from .partition import partition_segments, plan_partition
@@ -137,6 +139,16 @@ class GPUGBDTTrainer:
     # ------------------------------------------------------------------- fit
     def fit(self, X: CSRMatrix, y: np.ndarray) -> GBDTModel:
         """Train ``params.n_trees`` trees on ``(X, y)``."""
+        with span(
+            "train",
+            backend="gpu-gbdt" if not self.dense_memory_model else "xgb-gpu-dense",
+            n_trees=self.params.n_trees,
+            n_rows=X.n_rows,
+            n_cols=X.n_cols,
+        ):
+            return self._fit(X, y)
+
+    def _fit(self, X: CSRMatrix, y: np.ndarray) -> GBDTModel:
         p = self.params
         device = self.device
         y = np.asarray(y, dtype=np.float64)
@@ -148,7 +160,7 @@ class GPUGBDTTrainer:
         if d < 1:
             raise ValueError("need at least 1 attribute")
 
-        with device.phase("setup"):
+        with device.phase("setup"), span("setup"):
             csc = X.to_csc()
             cols = build_sorted_columns(csc, device)
             base_rle: RunLengthColumns | None = None
@@ -187,22 +199,41 @@ class GPUGBDTTrainer:
             X=X,
         )
 
+        registry = get_registry()
+        rounds_total = registry.counter(
+            "train_rounds_total", "boosting rounds completed"
+        )
+        nodes_total = registry.counter("train_nodes_total", "tree nodes grown")
+        leaves_total = registry.counter("train_leaves_total", "leaves finalized")
+        round_seconds = registry.histogram(
+            "train_round_seconds", "wall-clock seconds per boosting round"
+        )
+
         trees: List[DecisionTree] = []
         n_nodes_total = 0
         n_leaves_total = 0
         for t_idx in range(p.n_trees):
-            with device.phase("gradients"):
-                g, h = gc.compute()
-            sample = sample_tree(
-                p.seed, t_idx, n, d, p.subsample, p.colsample_bytree
-            )
-            tree = self._grow_tree(X, g, h, cols, base_rle, used_rle, gc, sample)
-            if not sample.inst_mask.all():
-                gc.apply_tree_to(tree, np.flatnonzero(~sample.inst_mask))
-            gc.on_tree_finished(tree)
+            t_round = time.perf_counter()
+            with span("boost_round", tree=t_idx):
+                with device.phase("gradients"), span("gradients"):
+                    g, h = gc.compute()
+                sample = sample_tree(
+                    p.seed, t_idx, n, d, p.subsample, p.colsample_bytree
+                )
+                tree = self._grow_tree(X, g, h, cols, base_rle, used_rle, gc, sample)
+                if not sample.inst_mask.all():
+                    gc.apply_tree_to(tree, np.flatnonzero(~sample.inst_mask))
+                gc.on_tree_finished(tree)
             trees.append(tree)
             n_nodes_total += tree.n_nodes
             n_leaves_total += tree.n_leaves
+            rounds_total.inc()
+            nodes_total.inc(tree.n_nodes)
+            leaves_total.inc(tree.n_leaves)
+            round_seconds.observe(time.perf_counter() - t_round)
+        registry.gauge(
+            "train_compression_ratio", "RLE compression ratio of the last run"
+        ).set(base_rle.compression_ratio if base_rle is not None else 1.0)
 
         self.report = TrainReport(
             used_rle=used_rle,
@@ -280,7 +311,7 @@ class GPUGBDTTrainer:
         )
 
         node_tree_ids = np.array([0], dtype=np.int64)
-        with device.phase("gradients"):
+        with device.phase("gradients"), span("gradients"):
             included = np.flatnonzero(sample.inst_mask)
             node_g = bincount_sum(
                 device, np.zeros(included.size, np.int64), g[included], 1,
@@ -296,7 +327,7 @@ class GPUGBDTTrainer:
             n_active = node_tree_ids.size
             if n_active == 0:
                 break
-            with device.phase("find_split"):
+            with device.phase("find_split"), span("find_split", depth=_depth, nodes=n_active):
                 if used_rle:
                     best = find_best_splits_rle(
                         device, rle_state, inst_arr, layout, g, h, node_g, node_h, node_n,
@@ -310,7 +341,7 @@ class GPUGBDTTrainer:
 
             split_mask = best.found & (best.gain > p.gamma)
 
-            with device.phase("split_node"):
+            with device.phase("split_node"), span("split_node", depth=_depth):
                 # ---- finalize leaves (nodes that will not split) -----------
                 leaf_locals = np.flatnonzero(~split_mask)
                 if leaf_locals.size:
@@ -435,7 +466,7 @@ class GPUGBDTTrainer:
 
         # nodes still active after the depth budget become leaves
         if node_tree_ids.size and (inst2local >= 0).any():
-            with device.phase("split_node"):
+            with device.phase("split_node"), span("split_node", depth=p.max_depth):
                 self._finalize_leaves(
                     tree,
                     gc,

@@ -32,8 +32,12 @@ def chrome_trace_events(device: GpuDevice) -> List[dict]:
     """
     spec = device.spec
     events: List[dict] = []
-    phase_tid = {}
+    phase_tid: dict = {}
     t_us = 0.0
+    if not device.ledger.kernels and not device.ledger.transfers:
+        # an empty ledger exports as an empty (but valid) trace -- no
+        # orphaned metadata rows for tracks that hold no slices
+        return events
     for k in device.ledger.kernels:
         dur = kernel_time(spec, k) * 1e6
         tid = phase_tid.setdefault(k.phase, len(phase_tid) + 1)
@@ -72,8 +76,11 @@ def chrome_trace_events(device: GpuDevice) -> List[dict]:
             }
         )
         t_us += dur
-    # row labels
-    for phase, tid in list(phase_tid.items()) + [("pcie", pcie_tid)]:
+    # row labels (the pcie row only exists if a transfer was recorded)
+    rows = list(phase_tid.items())
+    if device.ledger.transfers:
+        rows.append(("pcie", pcie_tid))
+    for phase, tid in rows:
         events.append(
             {
                 "name": "thread_name",
@@ -86,10 +93,16 @@ def chrome_trace_events(device: GpuDevice) -> List[dict]:
     return events
 
 
-def export_chrome_trace(device: GpuDevice, path) -> int:
-    """Write the trace JSON; returns the number of slice events."""
+def export_chrome_trace(device: GpuDevice, path: Path | str) -> int:
+    """Write the trace JSON to ``path``; returns the number of slice events.
+
+    An empty ledger writes a valid document with an empty ``traceEvents``
+    list (and returns 0) rather than a trace with orphaned metadata rows.
+    """
     events = chrome_trace_events(device)
-    Path(path).write_text(
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
         json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}), encoding="utf-8"
     )
     return sum(1 for e in events if e.get("ph") == "X")

@@ -1,0 +1,91 @@
+"""Unified observability: span tracing, metrics, and exporters.
+
+The paper's whole experimental argument is a profiling argument (Section
+IV-A: "finding the best split point ... around 95%"); this package is the
+substrate that lets every layer of the reproduction make that argument about
+itself:
+
+``tracer``
+    :class:`Tracer` -- zero-dependency nested wall-clock spans with a
+    context-manager/decorator API cheap enough to leave on
+    (``with span("build_tree", depth=d): ...``).
+``metrics_registry``
+    :class:`MetricsRegistry` -- counters, gauges, and fixed-bucket
+    histograms (p50/p95/p99) addressed by name + labels, with a
+    label-cardinality guard.
+``export``
+    JSONL event logs, the Prometheus text format, and a Chrome-trace
+    exporter that **merges** host spans with the gpusim kernel ledger onto
+    one Perfetto timeline.
+``report``
+    The ``obs report`` CLI experiment: train a small model, print the
+    per-phase wall-vs-modeled breakdown.
+
+Training (:mod:`repro.core`), serving (:mod:`repro.serve`), and the
+benchmark harness all record into the process-global tracer/registry;
+swap either with :func:`use_tracer` / :func:`use_registry` for isolation.
+Set ``REPRO_TRACE=0`` to disable span recording process-wide.
+"""
+
+from .export import (
+    DEVICE_PID,
+    HOST_PID,
+    export_merged_chrome_trace,
+    jsonl_lines,
+    merged_chrome_trace_events,
+    prometheus_text,
+    write_jsonl,
+    write_prometheus,
+)
+from .metrics_registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    CardinalityError,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .report import ObsReport, run_obs_report
+from .tracer import (
+    Span,
+    SpanStats,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+    traced,
+    use_tracer,
+)
+
+__all__ = [
+    "CardinalityError",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEVICE_PID",
+    "Gauge",
+    "HOST_PID",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsReport",
+    "Span",
+    "SpanStats",
+    "Tracer",
+    "export_merged_chrome_trace",
+    "get_registry",
+    "get_tracer",
+    "jsonl_lines",
+    "merged_chrome_trace_events",
+    "prometheus_text",
+    "run_obs_report",
+    "set_registry",
+    "set_tracer",
+    "span",
+    "traced",
+    "use_registry",
+    "use_tracer",
+    "write_jsonl",
+    "write_prometheus",
+]

@@ -1,0 +1,224 @@
+"""Exporters: JSONL event log, Prometheus text format, merged Chrome trace.
+
+Three consumers, three formats:
+
+* :func:`write_jsonl` -- one JSON object per line (spans then metric
+  samples); greppable, diffable, append-friendly -- the format the benchmark
+  harness emits per-run so ``BENCH_*`` trajectories can be compared across
+  PRs.
+* :func:`prometheus_text` -- the Prometheus exposition format (counters,
+  gauges, and cumulative ``_bucket``/``_sum``/``_count`` histogram series)
+  for scraping or golden-file assertions.
+* :func:`merged_chrome_trace_events` -- **one** Perfetto timeline holding
+  both the tracer's wall-clock host spans (pid 1) and the gpusim device
+  ledger's modeled kernels/transfers (pid 2), so "what Python did" lines up
+  against "what the modeled GPU was charged".  Open the exported file at
+  https://ui.perfetto.dev.
+
+All timestamps in the Chrome trace are microseconds, rebased so the earliest
+event sits at 0, and the event list is sorted by ``ts`` -- monotonic by
+construction, which keeps Perfetto's JSON importer happy.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..gpusim.kernel import GpuDevice
+from ..gpusim.trace import chrome_trace_events
+from .metrics_registry import MetricsRegistry
+from .tracer import Tracer
+
+__all__ = [
+    "HOST_PID",
+    "DEVICE_PID",
+    "jsonl_lines",
+    "write_jsonl",
+    "prometheus_text",
+    "write_prometheus",
+    "merged_chrome_trace_events",
+    "export_merged_chrome_trace",
+]
+
+#: pid of the host wall-clock track in the merged trace
+HOST_PID = 1
+#: pid of the modeled-device track in the merged trace
+DEVICE_PID = 2
+
+
+# ------------------------------------------------------------------- JSONL
+def jsonl_lines(
+    tracer: Optional[Tracer] = None, registry: Optional[MetricsRegistry] = None
+) -> List[str]:
+    """Serialized lines: span events first (start order), then metric
+    samples (deterministic registry order)."""
+    lines: List[str] = []
+    if tracer is not None:
+        for event in tracer.snapshot():
+            lines.append(json.dumps(event, sort_keys=True, default=str))
+    if registry is not None:
+        for sample in registry.collect():
+            lines.append(json.dumps(sample, sort_keys=True, default=str))
+    return lines
+
+
+def write_jsonl(
+    path: Path | str,
+    *,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+    append: bool = False,
+) -> int:
+    """Write (or append) the JSONL event log; returns the line count."""
+    lines = jsonl_lines(tracer, registry)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    mode = "a" if append else "w"
+    with path.open(mode, encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)
+
+
+# -------------------------------------------------------------- Prometheus
+def _fmt_value(v: float) -> str:
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    # integers print bare (Prometheus convention for counts)
+    if float(v).is_integer() and abs(v) < 1e15:
+        return str(int(v))
+    return repr(float(v))
+
+
+def _escape_label(v: str) -> str:
+    return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    return (
+        "{"
+        + ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in merged.items())
+        + "}"
+    )
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every instrument in the Prometheus exposition format."""
+    out: List[str] = []
+    for name, kind, help_text, series in registry.families():
+        if help_text:
+            out.append(f"# HELP {name} {help_text}")
+        out.append(f"# TYPE {name} {kind}")
+        for inst in series:
+            labels = inst.label_dict
+            if kind in ("counter", "gauge"):
+                out.append(f"{name}{_fmt_labels(labels)} {_fmt_value(inst.value)}")
+            else:  # histogram
+                for le, cum in inst.cumulative_buckets():
+                    le_txt = "+Inf" if math.isinf(le) else _fmt_value(le)
+                    out.append(
+                        f"{name}_bucket{_fmt_labels(labels, {'le': le_txt})} {cum}"
+                    )
+                out.append(f"{name}_sum{_fmt_labels(labels)} {_fmt_value(inst.sum)}")
+                out.append(f"{name}_count{_fmt_labels(labels)} {inst.count}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def write_prometheus(path: Path | str, registry: MetricsRegistry) -> int:
+    """Write the exposition text; returns the number of sample lines."""
+    text = prometheus_text(registry)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return sum(1 for line in text.splitlines() if line and not line.startswith("#"))
+
+
+# ----------------------------------------------------------- Chrome trace
+def merged_chrome_trace_events(
+    tracer: Optional[Tracer] = None, device: Optional[GpuDevice] = None
+) -> List[Dict[str, Any]]:
+    """Host spans (pid 1) + modeled device ledger (pid 2) on one timeline.
+
+    The two tracks measure different clocks (wall time vs the cost model),
+    so they are not aligned instant-by-instant; both are rebased to start at
+    0 so the *shapes* -- phase ordering and relative widths -- compare
+    directly in one Perfetto window.
+    """
+    slices: List[Dict[str, Any]] = []
+    meta: List[Dict[str, Any]] = []
+
+    if tracer is not None:
+        events = tracer.snapshot()
+        if events:
+            t0 = min(e["t_start"] for e in events)
+            thread_tids: Dict[int, int] = {}
+            for e in events:
+                tid = thread_tids.setdefault(e["thread_id"], len(thread_tids) + 1)
+                end = e["t_end"] if e["t_end"] is not None else e["t_start"]
+                slices.append(
+                    {
+                        "name": e["name"],
+                        "cat": "host",
+                        "ph": "X",
+                        "ts": round((e["t_start"] - t0) * 1e6, 3),
+                        "dur": round(max(0.0, end - e["t_start"]) * 1e6, 3),
+                        "pid": HOST_PID,
+                        "tid": tid,
+                        "args": e["attrs"],
+                    }
+                )
+            meta.append(
+                {
+                    "name": "process_name", "ph": "M", "pid": HOST_PID,
+                    "args": {"name": "host (wall-clock spans)"},
+                }
+            )
+            for ident, tid in thread_tids.items():
+                meta.append(
+                    {
+                        "name": "thread_name", "ph": "M", "pid": HOST_PID,
+                        "tid": tid, "args": {"name": f"thread-{ident}"},
+                    }
+                )
+
+    if device is not None:
+        dev_events = chrome_trace_events(device)
+        if dev_events:
+            for e in dev_events:
+                e = dict(e)
+                e["pid"] = DEVICE_PID
+                (slices if e.get("ph") == "X" else meta).append(e)
+            meta.append(
+                {
+                    "name": "process_name", "ph": "M", "pid": DEVICE_PID,
+                    "args": {"name": "gpusim (modeled device time)"},
+                }
+            )
+
+    slices.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))
+    return meta + slices
+
+
+def export_merged_chrome_trace(
+    path: Path | str,
+    *,
+    tracer: Optional[Tracer] = None,
+    device: Optional[GpuDevice] = None,
+) -> int:
+    """Write the merged trace JSON; returns the number of slice events."""
+    events = merged_chrome_trace_events(tracer, device)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}),
+        encoding="utf-8",
+    )
+    return sum(1 for e in events if e.get("ph") == "X")

@@ -1,0 +1,440 @@
+"""Counters, gauges, and fixed-bucket histograms addressable by name+labels.
+
+The serving layer, the trainers, and the benchmark harness all need the same
+three primitives; before this module each grew its own ad-hoc counters and
+percentile math.  :class:`MetricsRegistry` is the single home:
+
+* :class:`Counter` -- monotonically increasing total;
+* :class:`Gauge` -- last-write-wins value;
+* :class:`Histogram` -- fixed cumulative buckets (Prometheus ``le``
+  semantics: an observation lands in every bucket whose upper bound is
+  ``>= value``) plus count/sum/min/max.  Percentiles come from an exact
+  bounded sample window while it holds every observation, and degrade to
+  linear interpolation inside the bucket once the window overflows -- so
+  short test runs get exact p50/p95/p99 while unbounded production streams
+  stay O(#buckets) in memory.
+
+Instruments are addressed by ``(name, labels)``; the registry enforces type
+consistency per name and guards label cardinality (an unbounded label value,
+e.g. a request id, raises :class:`CardinalityError` once the family exceeds
+``max_label_sets`` distinct label sets instead of silently eating memory).
+
+Everything is plain Python + threading locks: usable from the serving thread
+and the training loop alike, with no dependency beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import bisect
+import contextlib
+import math
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CardinalityError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]
+
+
+class CardinalityError(ValueError):
+    """A metric family exceeded the registry's distinct-label-set budget."""
+
+
+#: log-spaced seconds from 10us to 60s -- a sensible default for latencies
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Shared identity for one (name, labels) time series."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+
+    @property
+    def label_dict(self) -> Dict[str, str]:
+        return dict(self.labels)
+
+    def sample(self) -> Dict[str, Any]:
+        """JSON-safe snapshot (shape depends on the instrument kind)."""
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for deltas")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def sample(self) -> Dict[str, Any]:
+        return {
+            "kind": "counter", "name": self.name,
+            "labels": self.label_dict, "value": self._value,
+        }
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self._value:g})"
+
+
+class Gauge(_Instrument):
+    """Last-write-wins value (queue depth, compression ratio, ...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def sample(self) -> Dict[str, Any]:
+        return {
+            "kind": "gauge", "name": self.name,
+            "labels": self.label_dict, "value": self._value,
+        }
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self._value:g})"
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution with exact-then-approximate percentiles.
+
+    Parameters
+    ----------
+    buckets:
+        Strictly increasing finite upper bounds; a ``+inf`` bucket is always
+        appended.  An observation ``v`` counts toward the first bucket with
+        ``v <= bound`` (Prometheus ``le`` semantics).
+    sample_cap:
+        Size of the exact sample window.  While ``count <= sample_cap``,
+        :meth:`percentile` matches ``numpy.percentile(..., 'linear')``
+        bit-for-bit; beyond it, new observations only update the buckets and
+        percentiles interpolate within the owning bucket.  ``0`` disables the
+        window entirely (pure bucket math, for tests and tight memory).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey = (),
+        *,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        sample_cap: int = 65536,
+    ) -> None:
+        super().__init__(name, labels)
+        bounds = [float(b) for b in buckets]
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("buckets must be non-empty and strictly increasing")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("explicit bucket bounds must be finite")
+        if sample_cap < 0:
+            raise ValueError("sample_cap must be >= 0")
+        self.bounds: List[float] = bounds  # +inf bucket is implicit at the end
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.sample_cap = sample_cap
+        self._samples: List[float] = []
+        self._samples_sorted = True
+
+    # -------------------------------------------------------------- recording
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+            if self.count <= self.sample_cap:
+                self._samples.append(value)
+                self._samples_sorted = False
+            elif self._samples:
+                # window overflowed: exact percentiles are no longer possible
+                self._samples.clear()
+
+    @property
+    def exact(self) -> bool:
+        """True while the sample window still holds every observation."""
+        return self.count > 0 and len(self._samples) == self.count
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    # ------------------------------------------------------------ percentiles
+    def percentile(self, q: float) -> float:
+        """q-th percentile (0.0 on an empty histogram).
+
+        Exact (numpy 'linear' convention) while the sample window covers
+        everything; bucket-interpolated afterwards.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            if self.exact:
+                if not self._samples_sorted:
+                    self._samples.sort()
+                    self._samples_sorted = True
+                pos = (q / 100.0) * (len(self._samples) - 1)
+                lo = int(pos)
+                hi = min(lo + 1, len(self._samples) - 1)
+                frac = pos - lo
+                return self._samples[lo] * (1.0 - frac) + self._samples[hi] * frac
+            return self._bucket_percentile(q)
+
+    def _bucket_percentile(self, q: float) -> float:
+        target = (q / 100.0) * self.count
+        cum = 0
+        for i, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            if cum + n >= target:
+                # interpolate within bucket i; clamp its edges to the
+                # observed extremes so estimates never leave the data range
+                lo = self.bounds[i - 1] if i > 0 else self.min
+                hi = self.bounds[i] if i < len(self.bounds) else self.max
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if hi <= lo:
+                    return hi
+                frac = (target - cum) / n
+                return lo + (hi - lo) * frac
+            cum += n
+        return self.max  # pragma: no cover - unreachable (counts sum to count)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    # ---------------------------------------------------------------- export
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative_count)`` pairs, ending at
+        ``(+inf, count)``."""
+        out: List[Tuple[float, int]] = []
+        cum = 0
+        for bound, n in zip(self.bounds + [math.inf], self.bucket_counts):
+            cum += n
+            out.append((bound, cum))
+        return out
+
+    def sample(self) -> Dict[str, Any]:
+        return {
+            "kind": "histogram",
+            "name": self.name,
+            "labels": self.label_dict,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "buckets": [[b if math.isfinite(b) else "+Inf", c]
+                        for b, c in self.cumulative_buckets()],
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, p50={self.p50:g})"
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create store of instruments keyed by ``(name, labels)``.
+
+    Parameters
+    ----------
+    max_label_sets:
+        Distinct label sets allowed per metric name before
+        :class:`CardinalityError` -- the guard against accidentally labeling
+        by an unbounded value (request id, timestamp, ...).
+    """
+
+    def __init__(self, *, max_label_sets: int = 256) -> None:
+        if max_label_sets < 1:
+            raise ValueError("max_label_sets must be positive")
+        self.max_label_sets = max_label_sets
+        self._lock = threading.Lock()
+        self._families: Dict[str, Dict[str, Any]] = {}  # name -> {kind, help, series}
+
+    # -------------------------------------------------------------- factories
+    def _get_or_create(
+        self, kind: str, name: str, labels: Dict[str, Any], help: str, **kwargs: Any
+    ) -> _Instrument:
+        if not name or not name[0].isalpha() or not all(
+            c.isalnum() or c in "_:" for c in name
+        ):
+            raise ValueError(f"invalid metric name {name!r}")
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = {"kind": kind, "help": help, "series": {}}
+            elif family["kind"] != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {family['kind']}, not a {kind}"
+                )
+            series: Dict[LabelKey, _Instrument] = family["series"]
+            inst = series.get(key)
+            if inst is None:
+                if len(series) >= self.max_label_sets:
+                    raise CardinalityError(
+                        f"metric {name!r} exceeded {self.max_label_sets} label sets; "
+                        "a label value is probably unbounded"
+                    )
+                inst = _KINDS[kind](name, key, **kwargs)
+                series[key] = inst
+            if help and not family["help"]:
+                family["help"] = help
+            return inst
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        return self._get_or_create("counter", name, labels, help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        return self._get_or_create("gauge", name, labels, help)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        sample_cap: int = 65536,
+        **labels: Any,
+    ) -> Histogram:
+        return self._get_or_create(  # type: ignore[return-value]
+            "histogram", name, labels, help, buckets=buckets, sample_cap=sample_cap
+        )
+
+    # ------------------------------------------------------------- inspection
+    def families(self) -> List[Tuple[str, str, str, List[_Instrument]]]:
+        """``(name, kind, help, series)`` per family, name-sorted, each
+        family's series sorted by label key (deterministic export order)."""
+        with self._lock:
+            return [
+                (
+                    name,
+                    fam["kind"],
+                    fam["help"],
+                    [fam["series"][k] for k in sorted(fam["series"])],
+                )
+                for name, fam in sorted(self._families.items())
+            ]
+
+    def collect(self) -> List[Dict[str, Any]]:
+        """JSON-safe samples of every instrument (deterministic order)."""
+        return [
+            inst.sample()
+            for _, _, _, series in self.families()
+            for inst in series
+        ]
+
+    def get(self, name: str, **labels: Any) -> Optional[_Instrument]:
+        """Look up an existing instrument without creating it."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return None
+            return family["series"].get(_label_key(labels))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(f["series"]) for f in self._families.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._families.clear()
+
+
+# --------------------------------------------------------------------- global
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry built-in instrumentation records into."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the global; returns the previous one."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous
+
+
+@contextlib.contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily install ``registry`` (reports, tests)."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

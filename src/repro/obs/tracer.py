@@ -1,0 +1,408 @@
+"""Zero-dependency span tracer: nested wall-clock spans, cheap enough to leave on.
+
+The trainer's modeled time lives in the :mod:`repro.gpusim` cost ledger, but
+*host* time -- the Python phases that actually run -- was invisible.  This
+module records it as **spans**: named intervals with attributes, parent/child
+nesting, and per-thread stacks, mirroring the shape (not the wire format) of
+OpenTelemetry tracing without any dependency beyond the standard library.
+
+Usage::
+
+    from repro.obs import span, traced
+
+    with span("build_tree", depth=d):
+        ...
+
+    @traced("publish")
+    def publish(...): ...
+
+Spans record into the process-global :class:`Tracer` (swap it with
+:func:`use_tracer` in tests or reports).  When tracing is disabled the
+context manager is a shared no-op object, so instrumentation left in hot
+paths costs one attribute lookup and one call.
+
+Design notes
+------------
+* **Nesting** is tracked per thread (a ``threading.local`` stack), so spans
+  from the serving thread and a training thread never corrupt each other.
+* **Self time** is maintained incrementally: when a span ends, its duration
+  is charged to the parent's child-time accumulator, so phase breakdowns can
+  report exclusive time without re-walking the tree.
+* **Unclosed spans** (an exception path that skipped ``end``, or a snapshot
+  taken mid-flight) are never lost: :meth:`Tracer.snapshot` closes *copies*
+  of them at the snapshot instant and tags them ``unclosed=True``.
+* **Bounded memory**: after ``max_spans`` finished spans the recorder drops
+  new ones (counting the drops) instead of growing without bound.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "SpanStats",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "span",
+    "traced",
+]
+
+
+class Span:
+    """One named interval.  Created by :meth:`Tracer.start`; immutable once
+    ended except through :meth:`set` (attributes are advisory metadata)."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "depth",
+        "thread_id",
+        "t_start",
+        "t_end",
+        "attrs",
+        "child_time",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        depth: int,
+        thread_id: int,
+        t_start: float,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.thread_id = thread_id
+        self.t_start = t_start
+        self.t_end: Optional[float] = None
+        self.attrs = attrs
+        self.child_time = 0.0
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def closed(self) -> bool:
+        return self.t_end is not None
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while still open)."""
+        return (self.t_end - self.t_start) if self.t_end is not None else 0.0
+
+    @property
+    def self_time(self) -> float:
+        """Duration minus the time spent in (finished) child spans."""
+        return max(0.0, self.duration - self.child_time)
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach/overwrite attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_event(self) -> Dict[str, Any]:
+        """JSON-safe dict (times in seconds relative to the tracer clock)."""
+        return {
+            "kind": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "thread_id": self.thread_id,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "duration": self.duration,
+            "self_time": self.self_time,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        state = f"{self.duration * 1e3:.3f}ms" if self.closed else "open"
+        return f"Span({self.name!r}, {state}, depth={self.depth})"
+
+
+class SpanStats:
+    """Aggregate over every finished span sharing one name."""
+
+    __slots__ = ("name", "count", "total", "self_total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.self_total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def add(self, sp: Span) -> None:
+        d = sp.duration
+        self.count += 1
+        self.total += d
+        self.self_total += sp.self_time
+        self.min = min(self.min, d)
+        self.max = max(self.max, d)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanStats({self.name!r}, count={self.count}, "
+            f"total={self.total:.6f}s, self={self.self_total:.6f}s)"
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+
+_NOOP = _NoopSpan()
+
+
+class _SpanHandle:
+    """Context manager binding one live span to a tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", sp: Span) -> None:
+        self._tracer = tracer
+        self._span = sp
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer.end(self._span)
+        return False
+
+
+class Tracer:
+    """Thread-safe in-memory span recorder.
+
+    Parameters
+    ----------
+    enabled:
+        When False, :meth:`span` returns a shared no-op context manager and
+        nothing is recorded.
+    clock:
+        0-arg callable returning seconds; ``time.perf_counter`` by default,
+        injectable for deterministic tests.
+    max_spans:
+        Finished-span retention cap; further spans are counted in
+        :attr:`dropped` but not stored.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+        max_spans: int = 1_000_000,
+    ) -> None:
+        if max_spans < 1:
+            raise ValueError("max_spans must be positive")
+        self.enabled = enabled
+        self.clock = clock
+        self.max_spans = max_spans
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._finished: List[Span] = []
+        self._local = threading.local()
+        self._next_id = 0
+
+    # ------------------------------------------------------------- internals
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # ------------------------------------------------------------ recording
+    def span(self, name: str, **attrs: Any):
+        """Context manager recording one span (no-op while disabled)."""
+        if not self.enabled:
+            return _NOOP
+        return _SpanHandle(self, self.start(name, **attrs))
+
+    def start(self, name: str, **attrs: Any) -> Span:
+        """Manually open a span (pair with :meth:`end`)."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            self._next_id += 1
+            sid = self._next_id
+        sp = Span(
+            name=name,
+            span_id=sid,
+            parent_id=parent.span_id if parent is not None else None,
+            depth=len(stack),
+            thread_id=threading.get_ident(),
+            t_start=self.clock(),
+            attrs=attrs,
+        )
+        stack.append(sp)
+        return sp
+
+    def end(self, sp: Span, **attrs: Any) -> Span:
+        """Close ``sp``.  Spans opened after it and never closed are popped
+        from the stack (they stay open and surface via :meth:`open_spans`)."""
+        if sp.closed:
+            return sp
+        if attrs:
+            sp.attrs.update(attrs)
+        sp.t_end = self.clock()
+        stack = self._stack()
+        if sp in stack:
+            del stack[stack.index(sp):]
+        parent = stack[-1] if stack else None
+        if parent is not None and not parent.closed:
+            parent.child_time += sp.duration
+        with self._lock:
+            if len(self._finished) < self.max_spans:
+                self._finished.append(sp)
+            else:
+                self.dropped += 1
+        return sp
+
+    def traced(self, name: Optional[str] = None, **attrs: Any):
+        """Decorator form of :meth:`span`."""
+
+        def decorate(fn: Callable) -> Callable:
+            label = name if name is not None else fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args: Any, **kwargs: Any):
+                with self.span(label, **attrs):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # ------------------------------------------------------------ inspection
+    def finished(self) -> List[Span]:
+        """Snapshot list of finished spans (recorded order)."""
+        with self._lock:
+            return list(self._finished)
+
+    def open_spans(self) -> List[Span]:
+        """Spans started on *this* thread that have not ended."""
+        return [sp for sp in self._stack() if not sp.closed]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+    def snapshot(self, include_open: bool = True) -> List[Dict[str, Any]]:
+        """JSON-safe events for every finished span, plus (optionally) a
+        closed-at-now copy of each span still open on the calling thread,
+        tagged ``unclosed=True`` -- nothing silently disappears."""
+        events = [sp.to_event() for sp in self.finished()]
+        if include_open:
+            now = self.clock()
+            for sp in self.open_spans():
+                ev = sp.to_event()
+                ev["t_end"] = now
+                ev["duration"] = now - sp.t_start
+                ev["self_time"] = max(0.0, ev["duration"] - sp.child_time)
+                ev["attrs"] = {**ev["attrs"], "unclosed": True}
+                events.append(ev)
+        events.sort(key=lambda e: e["t_start"])
+        return events
+
+    def aggregate(self) -> Dict[str, SpanStats]:
+        """Per-name totals over finished spans (insertion-ordered)."""
+        out: Dict[str, SpanStats] = {}
+        for sp in self.finished():
+            out.setdefault(sp.name, SpanStats(sp.name)).add(sp)
+        return out
+
+    def total_time(self, name: str) -> float:
+        """Summed duration of every finished span called ``name``."""
+        return sum(sp.duration for sp in self.finished() if sp.name == name)
+
+    def clear(self) -> None:
+        """Drop finished spans and reset the drop counter (open spans on
+        other threads are untouched; they will simply not be recorded if the
+        cap logic drops them later)."""
+        with self._lock:
+            self._finished.clear()
+            self.dropped = 0
+
+
+# --------------------------------------------------------------------- global
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_TRACE", "1").lower() not in ("0", "false", "off", "")
+
+
+_TRACER = Tracer(enabled=_env_enabled())
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer all built-in instrumentation records into."""
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the global; returns the previous one."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+@contextlib.contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Temporarily install ``tracer`` (reports, tests)."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def span(name: str, **attrs: Any):
+    """Record a span on the global tracer (module-level convenience)."""
+    return _TRACER.span(name, **attrs)
+
+
+def traced(name: Optional[str] = None, **attrs: Any):
+    """Decorator recording a span on the *current* global tracer per call."""
+
+    def decorate(fn: Callable) -> Callable:
+        label = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            with _TRACER.span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

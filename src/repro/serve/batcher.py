@@ -40,6 +40,7 @@ import numpy as np
 
 from ..core.predictor import charge_prediction_kernels
 from ..gpusim.kernel import GpuDevice
+from ..obs import span
 from .flat_model import FlatEnsemble
 from .registry import DEFAULT_NAME, ModelRegistry
 from .stats import ServingStats
@@ -191,9 +192,10 @@ class MicroBatcher:
                 raise QueueFull(
                     f"queue at max_queue={self.policy.max_queue}; request rejected"
                 )
-            flat, version = self._resolve()
-            handle.degraded = True
-            handle._resolve(flat.predict_one(row), version)
+            with span("serve_shed", queue_depth=len(self._queue)):
+                flat, version = self._resolve()
+                handle.degraded = True
+                handle._resolve(flat.predict_one(row), version)
             self.stats.record_request(0.0, degraded=True)
             return handle
 
@@ -222,6 +224,10 @@ class MicroBatcher:
 
     def _flush_one(self, now: float) -> int:
         take = min(len(self._queue), self.policy.max_batch)
+        with span("serve_flush", batch=take, queued=len(self._queue)):
+            return self._flush_batch(now, take)
+
+    def _flush_batch(self, now: float, take: int) -> int:
         batch = [self._queue.popleft() for _ in range(take)]
         rows = np.stack([row for row, _, _ in batch])
         flat, version = self._resolve()

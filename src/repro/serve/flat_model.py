@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from ..data.matrix import CSRMatrix, DenseMatrix
+from ..obs import span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..core.booster_model import GBDTModel
@@ -231,10 +232,11 @@ class FlatEnsemble:
         out = np.full(n, self.base_score, dtype=np.float64)
         if n == 0 or self.n_trees == 0:
             return out
-        chunk = max(1, _PAIRS_PER_CHUNK // self.n_trees)
-        for lo in range(0, n, chunk):
-            hi = min(n, lo + chunk)
-            out[lo:hi] += self._route_block(dense[lo:hi])
+        with span("flat_predict", rows=n, trees=self.n_trees):
+            chunk = max(1, _PAIRS_PER_CHUNK // self.n_trees)
+            for lo in range(0, n, chunk):
+                hi = min(n, lo + chunk)
+                out[lo:hi] += self._route_block(dense[lo:hi])
         return out
 
     def _route_block(self, dense: np.ndarray) -> np.ndarray:

@@ -20,6 +20,7 @@ import threading
 from typing import Dict, List
 
 from ..core.booster_model import GBDTModel
+from ..obs import get_registry, span
 from .flat_model import FlatEnsemble
 
 __all__ = ["ModelRegistry", "ModelVersion"]
@@ -71,28 +72,36 @@ class ModelRegistry:
         Re-publishing identical content is a no-op apart from (optionally)
         activating the existing version.
         """
-        payload = canonical_payload(model)
-        version = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
-        with self._lock:
-            store = self._versions.setdefault(name, {})
-            if version not in store:
-                restored = GBDTModel.from_json(payload, params=model.params)
-                self._seq += 1
-                store[version] = ModelVersion(
-                    name=name,
-                    version=version,
-                    payload=payload,
-                    flat=FlatEnsemble.from_model(restored),
-                    seq=self._seq,
-                )
-            if activate:
-                self._activate_locked(name, version)
-        return version
+        with span("registry_publish", model=name):
+            payload = canonical_payload(model)
+            version = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+            with self._lock:
+                store = self._versions.setdefault(name, {})
+                if version not in store:
+                    restored = GBDTModel.from_json(payload, params=model.params)
+                    self._seq += 1
+                    store[version] = ModelVersion(
+                        name=name,
+                        version=version,
+                        payload=payload,
+                        flat=FlatEnsemble.from_model(restored),
+                        seq=self._seq,
+                    )
+                    get_registry().counter(
+                        "registry_publishes_total", "distinct model versions published"
+                    ).inc()
+                if activate:
+                    self._activate_locked(name, version)
+            return version
 
     def _activate_locked(self, name: str, version: str) -> None:
         history = self._history.setdefault(name, [])
         if not history or history[-1] != version:
             history.append(version)
+            if len(history) > 1:
+                get_registry().counter(
+                    "registry_swaps_total", "hot swaps of an active model version"
+                ).inc()
 
     def activate(self, name: str, version: str) -> None:
         """Hot-swap ``name`` to an already-published version."""
@@ -108,6 +117,9 @@ class ModelRegistry:
             if len(history) < 2:
                 raise KeyError(f"model {name!r} has no previous version to roll back to")
             history.pop()
+            get_registry().counter(
+                "registry_rollbacks_total", "rollbacks to a previous version"
+            ).inc()
             return history[-1]
 
     # -------------------------------------------------------------- resolving

@@ -4,15 +4,32 @@ One :class:`ServingStats` instance rides along with a
 :class:`~repro.serve.batcher.MicroBatcher`; every request outcome is recorded
 here, and :meth:`ServingStats.summary` emits a JSON-safe dict the regression
 harness (:mod:`repro.bench.regress`) can persist and diff.
+
+The counters and percentile math live in the shared observability primitives
+(:mod:`repro.obs.metrics_registry`): latencies and batch sizes go into
+:class:`~repro.obs.metrics_registry.Histogram` instances (exact percentiles
+while the sample window holds, fixed-bucket estimates beyond it), counts into
+:class:`~repro.obs.metrics_registry.Counter` instances.  Registering the same
+instruments into a :class:`~repro.obs.metrics_registry.MetricsRegistry` is
+optional -- pass one to export serving metrics alongside everything else.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, Optional
 
-import numpy as np
+from ..obs.metrics_registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
 
-__all__ = ["ServingStats"]
+__all__ = ["ServingStats", "BATCH_SIZE_BUCKETS"]
+
+#: powers of two up to the largest plausible max_batch
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+                      512.0, 1024.0, 2048.0, 4096.0)
 
 
 class ServingStats:
@@ -22,17 +39,49 @@ class ServingStats:
     (cache hits and shed requests complete immediately and record zero queue
     wait).  Timestamps come from whatever clock the batcher uses -- wall or
     simulated -- so percentiles are meaningful either way.
+
+    Parameters
+    ----------
+    registry:
+        Optional :class:`MetricsRegistry` to create the instruments in, so
+        serving metrics appear in Prometheus/JSONL exports of that registry.
+        By default the instruments are standalone.
     """
 
-    def __init__(self) -> None:
-        self.latencies: List[float] = []
-        self.batch_sizes: List[int] = []
-        self.n_requests = 0
-        self.n_batches = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.shed = 0
-        self.rejected = 0
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        if registry is not None:
+            self._latency = registry.histogram(
+                "serve_request_latency_seconds", "request enqueue-to-flush wait"
+            )
+            self._batches = registry.histogram(
+                "serve_batch_size", "rows per flushed batch",
+                buckets=BATCH_SIZE_BUCKETS,
+            )
+            self._requests = registry.counter(
+                "serve_requests_total", "completed prediction requests"
+            )
+            self._cache_hits = registry.counter(
+                "serve_cache_hits_total", "prediction cache hits"
+            )
+            self._cache_misses = registry.counter(
+                "serve_cache_misses_total", "prediction cache misses"
+            )
+            self._shed = registry.counter(
+                "serve_shed_total", "requests served by the degraded per-row path"
+            )
+            self._rejected = registry.counter(
+                "serve_rejected_total", "requests rejected by backpressure"
+            )
+        else:
+            self._latency = Histogram(
+                "serve_request_latency_seconds", buckets=DEFAULT_LATENCY_BUCKETS
+            )
+            self._batches = Histogram("serve_batch_size", buckets=BATCH_SIZE_BUCKETS)
+            self._requests = Counter("serve_requests_total")
+            self._cache_hits = Counter("serve_cache_hits_total")
+            self._cache_misses = Counter("serve_cache_misses_total")
+            self._shed = Counter("serve_shed_total")
+            self._rejected = Counter("serve_rejected_total")
         self._t_first: float | None = None
         self._t_last: float | None = None
 
@@ -45,49 +94,67 @@ class ServingStats:
 
     def record_lookup(self, hit: bool) -> None:
         """One prediction-cache probe (recorded at submit time)."""
-        if hit:
-            self.cache_hits += 1
-        else:
-            self.cache_misses += 1
+        (self._cache_hits if hit else self._cache_misses).inc()
 
     def record_request(self, latency: float, *, degraded: bool = False) -> None:
         """One completed request (served from a batch, the cache, or the
         degraded per-row fallback)."""
-        self.n_requests += 1
-        self.latencies.append(float(latency))
+        self._requests.inc()
+        self._latency.observe(float(latency))
         if degraded:
-            self.shed += 1
+            self._shed.inc()
 
     def record_reject(self) -> None:
         """One request turned away by backpressure."""
-        self.rejected += 1
+        self._rejected.inc()
 
     def record_batch(self, size: int) -> None:
-        self.n_batches += 1
-        self.batch_sizes.append(int(size))
+        self._batches.observe(int(size))
 
     # ------------------------------------------------------------- reductions
+    @property
+    def n_requests(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def n_batches(self) -> int:
+        return self._batches.count
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._cache_hits.value)
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self._cache_misses.value)
+
+    @property
+    def shed(self) -> int:
+        return int(self._shed.value)
+
+    @property
+    def rejected(self) -> int:
+        return int(self._rejected.value)
+
     def percentile(self, q: float) -> float:
         """Latency percentile in seconds (0.0 when nothing was recorded)."""
-        if not self.latencies:
-            return 0.0
-        return float(np.percentile(np.asarray(self.latencies), q))
+        return self._latency.percentile(q)
 
     @property
     def p50(self) -> float:
-        return self.percentile(50.0)
+        return self._latency.p50
 
     @property
     def p95(self) -> float:
-        return self.percentile(95.0)
+        return self._latency.p95
 
     @property
     def p99(self) -> float:
-        return self.percentile(99.0)
+        return self._latency.p99
 
     @property
     def mean_batch_size(self) -> float:
-        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+        return self._batches.mean
 
     @property
     def cache_hit_rate(self) -> float:

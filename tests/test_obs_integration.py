@@ -1,0 +1,122 @@
+"""End-to-end observability tests: instrumented training is bit-identical
+and cheap, and the ``obs report`` breakdown joins wall vs modeled time."""
+
+import json
+import time
+
+import pytest
+
+from repro import GBDTParams, GPUGBDTTrainer, GpuDevice, models_equal
+from repro.data import make_dataset
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    run_obs_report,
+    use_registry,
+    use_tracer,
+)
+from repro.obs.report import PHASES
+
+
+def train_once(*, tracing: bool, rows: int = 300, trees: int = 4):
+    """One deterministic training run under a scoped tracer/registry."""
+    tracer = Tracer(enabled=tracing)
+    registry = MetricsRegistry(max_label_sets=1024)
+    with use_tracer(tracer), use_registry(registry):
+        ds = make_dataset("covtype", run_rows=rows, seed=11)
+        trainer = GPUGBDTTrainer(GBDTParams(n_trees=trees, max_depth=5), GpuDevice())
+        model = trainer.fit(ds.X, ds.y)
+    return model, tracer, registry
+
+
+class TestDifferential:
+    def test_instrumented_training_is_bit_identical(self):
+        m_on, tracer, _ = train_once(tracing=True)
+        m_off, tracer_off, _ = train_once(tracing=False)
+        assert len(tracer) > 0
+        assert len(tracer_off) == 0
+        assert models_equal(m_on, m_off, rtol=0.0, atol=0.0)
+
+    def test_training_records_expected_phases_and_metrics(self):
+        _, tracer, registry = train_once(tracing=True)
+        agg = tracer.aggregate()
+        for phase in PHASES:
+            assert phase in agg, f"missing phase span {phase!r}"
+        assert agg["boost_round"].count == 4
+        # per-phase spans nest inside the round/train spans
+        assert agg["train"].count == 1
+        assert agg["train"].total >= agg["boost_round"].total
+        assert registry.counter("train_rounds_total").value == 4
+        assert registry.get("train_round_seconds").count == 4
+        assert registry.gauge("train_compression_ratio").value > 0
+
+
+class TestOverhead:
+    def test_tracing_overhead_under_five_percent(self):
+        # Interleave on/off runs and compare best-of-N wall times; the
+        # min filters scheduler noise from both sides equally.
+        train_once(tracing=True, rows=200, trees=2)  # warm caches/JIT-ish paths
+        on, off = [], []
+        for _ in range(4):
+            t0 = time.perf_counter()
+            train_once(tracing=True)
+            on.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            train_once(tracing=False)
+            off.append(time.perf_counter() - t0)
+        assert min(on) < min(off) * 1.05, (min(on), min(off))
+
+
+class TestObsReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_obs_report(quick=True)
+
+    def test_split_share_consistent_with_profile(self, report):
+        # the paper's Section IV-A story: split work dominates both the
+        # wall-clock spans and the gpusim timeline.profile breakdown
+        assert report.consistent
+        assert report.wall_split_share > 0.5
+        assert report.modeled_split_share > 0.5
+        assert "[consistent]" in report.text
+
+    def test_breakdowns_are_normalized(self, report):
+        assert sum(report.wall[p]["share"] for p in PHASES) == pytest.approx(1.0)
+        for p in PHASES:
+            assert report.wall[p]["seconds"] >= 0
+            assert report.modeled[p]["seconds"] >= 0
+        # modeled shares come straight from timeline.profile: they are each
+        # phase's fraction of total modeled time, so they sum to <= 1
+        assert sum(report.modeled[p]["share"] for p in PHASES) <= 1.0 + 1e-9
+
+    def test_report_carries_training_metrics(self, report):
+        assert report.metrics["train_rounds_total"] == report.n_trees
+        assert report.n_spans > 0
+
+    def test_report_exports(self, tmp_path):
+        trace = tmp_path / "merged.json"
+        jsonl = tmp_path / "obs.jsonl"
+        prom = tmp_path / "obs.prom"
+        run_obs_report(
+            quick=True, n_trees=2, trace_path=trace, jsonl_path=jsonl, prom_path=prom
+        )
+        doc = json.loads(trace.read_text())
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["pid"] for e in slices} == {1, 2}
+        ts = [e["ts"] for e in slices]
+        assert ts == sorted(ts)
+        assert all(json.loads(ln) for ln in jsonl.read_text().splitlines())
+        assert "train_rounds_total 2" in prom.read_text()
+
+
+class TestCli:
+    def test_obs_report_subcommand(self, capsys, tmp_path):
+        from repro.cli import main
+
+        trace = tmp_path / "t.json"
+        rc = main(["obs", "report", "--quick", "--trees", "2", "--trace", str(trace)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "obs report" in out
+        assert "split work share" in out
+        assert json.loads(trace.read_text())["traceEvents"]

@@ -1,0 +1,201 @@
+"""Tests for counters, gauges, histograms, and the metrics registry."""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    CardinalityError,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_negative_inc_rejected(self):
+        c = MetricsRegistry().counter("x_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labels_address_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", route="a").inc()
+        reg.counter("hits_total", route="b").inc(5)
+        assert reg.counter("hits_total", route="a").value == 1
+        assert reg.counter("hits_total", route="b").value == 5
+        # label order is irrelevant to identity
+        reg.counter("multi_total", a="1", b="2").inc()
+        assert reg.counter("multi_total", b="2", a="1").value == 1
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("queue_depth")
+        g.set(10)
+        g.inc(3)
+        g.dec(5)
+        assert g.value == pytest.approx(8.0)
+
+
+class TestHistogramBuckets:
+    def test_le_boundary_semantics(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0), sample_cap=0)
+        for v in (0.5, 1.0, 1.5, 2.0, 4.0, 9.0):
+            h.observe(v)
+        # le=1: 0.5, 1.0 | le=2: 1.5, 2.0 | le=4: 4.0 | +inf: 9.0
+        assert h.bucket_counts == [2, 2, 1, 1]
+        assert h.cumulative_buckets() == [(1.0, 2), (2.0, 4), (4.0, 5), (math.inf, 6)]
+        assert (h.count, h.min, h.max) == (6, 0.5, 9.0)
+        assert h.sum == pytest.approx(18.0)
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, math.inf))
+        with pytest.raises(ValueError):
+            Histogram("h", sample_cap=-1)
+
+
+class TestHistogramPercentiles:
+    def test_exact_matches_numpy_linear(self):
+        rng = np.random.default_rng(7)
+        values = rng.exponential(0.01, size=500)
+        h = Histogram("lat")
+        for v in values:
+            h.observe(v)
+        assert h.exact
+        for q in (0, 10, 50, 90, 95, 99, 100):
+            assert h.percentile(q) == pytest.approx(
+                float(np.percentile(values, q)), rel=1e-12
+            )
+
+    def test_overflow_degrades_to_bucket_estimates(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0.0005, 0.5, size=400)
+        h = Histogram("lat", sample_cap=100)
+        for v in values:
+            h.observe(v)
+        assert not h.exact
+        qs = [10, 50, 90, 99]
+        est = [h.percentile(q) for q in qs]
+        # estimates stay inside the observed range and are monotone in q
+        assert all(h.min <= e <= h.max for e in est)
+        assert est == sorted(est)
+        # and land in the right ballpark of the true percentiles
+        for q, e in zip(qs, est):
+            true = float(np.percentile(values, q))
+            assert abs(e - true) < 0.1
+
+    def test_empty_and_validation(self):
+        h = Histogram("h")
+        assert h.percentile(50) == 0.0
+        assert h.mean == 0.0
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_single_observation(self):
+        h = Histogram("h")
+        h.observe(0.042)
+        assert h.p50 == pytest.approx(0.042)
+        assert h.p99 == pytest.approx(0.042)
+
+    def test_sample_reports_shape(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(0.5)
+        s = h.sample()
+        assert s["kind"] == "histogram"
+        assert s["count"] == 1
+        assert s["buckets"] == [[1.0, 1], ["+Inf", 1]]
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+        assert len(reg) == 1
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("dual")
+        with pytest.raises(ValueError, match="is a counter"):
+            reg.gauge("dual")
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        for bad in ("", "9lead", "has space", "has-dash"):
+            with pytest.raises(ValueError):
+                reg.counter(bad)
+        reg.counter("ok_name:subsystem_total")  # colons/underscores are legal
+
+    def test_cardinality_guard(self):
+        reg = MetricsRegistry(max_label_sets=2)
+        reg.counter("c_total", k="1")
+        reg.counter("c_total", k="2")
+        with pytest.raises(CardinalityError):
+            reg.counter("c_total", k="3")
+        # existing series stay addressable after the guard trips
+        reg.counter("c_total", k="1").inc()
+
+    def test_collect_and_families_deterministic(self):
+        reg = MetricsRegistry()
+        reg.gauge("z_gauge").set(1)
+        reg.counter("a_total", route="b").inc()
+        reg.counter("a_total", route="a").inc()
+        names = [(s["name"], s["labels"]) for s in reg.collect()]
+        assert names == [
+            ("a_total", {"route": "a"}),
+            ("a_total", {"route": "b"}),
+            ("z_gauge", {}),
+        ]
+
+    def test_get_without_create(self):
+        reg = MetricsRegistry()
+        assert reg.get("absent") is None
+        reg.counter("present_total", x="1")
+        assert reg.get("present_total", x="1") is not None
+        assert reg.get("present_total", x="2") is None
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc()
+        reg.clear()
+        assert len(reg) == 0
+
+    def test_use_registry_swaps_global(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            get_registry().counter("scoped_total").inc()
+        assert reg.counter("scoped_total").value == 1
+        assert get_registry() is not reg
+
+    def test_concurrent_counting_is_lossless(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n_total")
+        h = reg.histogram("lat", sample_cap=0)
+
+        def worker():
+            for _ in range(1000):
+                c.inc()
+                h.observe(0.001)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+        assert h.count == 4000

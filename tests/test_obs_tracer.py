@@ -1,0 +1,235 @@
+"""Tests for the zero-dependency span tracer (:mod:`repro.obs.tracer`)."""
+
+import threading
+
+import pytest
+
+from repro.obs import Tracer, get_tracer, set_tracer, span, traced, use_tracer
+from repro.obs.tracer import _NOOP, _env_enabled
+
+
+class FakeClock:
+    """Deterministic clock: every read advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+class TestNesting:
+    def test_parent_child_ids_and_depth(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert (outer.depth, inner.depth) == (0, 1)
+        assert outer.parent_id is None
+        # LIFO close order: inner finished first
+        assert [sp.name for sp in tr.finished()] == ["inner", "outer"]
+
+    def test_self_time_excludes_children(self):
+        clock = FakeClock(step=1.0)
+        tr = Tracer(clock=clock)
+        with tr.span("outer") as outer:  # starts t=1
+            with tr.span("inner") as inner:  # starts t=2, ends t=3
+                pass
+        # outer: t=1..4 (dur 3); inner: t=2..3 (dur 1)
+        assert inner.duration == pytest.approx(1.0)
+        assert outer.duration == pytest.approx(3.0)
+        assert outer.child_time == pytest.approx(1.0)
+        assert outer.self_time == pytest.approx(2.0)
+
+    def test_sibling_child_time_accumulates(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("outer") as outer:
+            with tr.span("a"):
+                pass
+            with tr.span("b"):
+                pass
+        assert outer.child_time == pytest.approx(2.0)
+
+    def test_attrs_and_set(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("s", depth=3) as sp:
+            sp.set(nodes=7)
+        assert sp.attrs == {"depth": 3, "nodes": 7}
+
+    def test_exception_tags_error_and_closes(self):
+        tr = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tr.span("boom"):
+                raise RuntimeError("x")
+        (sp,) = tr.finished()
+        assert sp.closed
+        assert sp.attrs["error"] == "RuntimeError"
+
+
+class TestUnclosedSpans:
+    def test_snapshot_tags_open_spans(self):
+        tr = Tracer(clock=FakeClock())
+        sp = tr.start("never_ended")
+        events = tr.snapshot()
+        assert len(events) == 1
+        assert events[0]["attrs"]["unclosed"] is True
+        assert events[0]["duration"] > 0
+        # the real span is untouched: still open, still on the stack
+        assert not sp.closed
+        assert tr.open_spans() == [sp]
+        assert tr.finished() == []
+
+    def test_snapshot_without_open(self):
+        tr = Tracer(clock=FakeClock())
+        tr.start("open_one")
+        assert tr.snapshot(include_open=False) == []
+
+    def test_double_end_is_idempotent(self):
+        tr = Tracer(clock=FakeClock())
+        sp = tr.start("s")
+        tr.end(sp)
+        t_end = sp.t_end
+        tr.end(sp)
+        assert sp.t_end == t_end
+        assert len(tr) == 1
+
+
+class TestDisabled:
+    def test_disabled_span_is_shared_noop(self):
+        tr = Tracer(enabled=False)
+        cm = tr.span("anything", big_attr=1)
+        assert cm is _NOOP
+        with cm as sp:
+            assert sp is None
+        assert len(tr) == 0
+
+    def test_noop_set_chains(self):
+        assert _NOOP.set(x=1) is _NOOP
+
+    def test_module_level_span_follows_global(self):
+        tr = Tracer(clock=FakeClock())
+        with use_tracer(tr):
+            with span("global_span"):
+                pass
+        assert [sp.name for sp in tr.finished()] == ["global_span"]
+        assert get_tracer() is not tr
+
+    def test_env_gate_values(self, monkeypatch):
+        for off in ("0", "false", "off", ""):
+            monkeypatch.setenv("REPRO_TRACE", off)
+            assert _env_enabled() is False
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert _env_enabled() is True
+        monkeypatch.delenv("REPRO_TRACE")
+        assert _env_enabled() is True
+
+    def test_set_tracer_returns_previous(self):
+        tr = Tracer()
+        prev = set_tracer(tr)
+        try:
+            assert get_tracer() is tr
+        finally:
+            assert set_tracer(prev) is tr
+
+
+class TestDecorator:
+    def test_traced_records_and_preserves_value(self):
+        tr = Tracer(clock=FakeClock())
+
+        @tr.traced("label", kind="test")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        (sp,) = tr.finished()
+        assert (sp.name, sp.attrs) == ("label", {"kind": "test"})
+
+    def test_traced_default_name_is_qualname(self):
+        tr = Tracer(clock=FakeClock())
+
+        @tr.traced()
+        def my_fn():
+            return None
+
+        my_fn()
+        assert tr.finished()[0].name.endswith("my_fn")
+        assert my_fn.__name__ == "my_fn"  # functools.wraps preserved
+
+    def test_module_traced_follows_swapped_global(self):
+        @traced("swappable")
+        def fn():
+            return 1
+
+        tr = Tracer(clock=FakeClock())
+        with use_tracer(tr):
+            fn()
+        assert [sp.name for sp in tr.finished()] == ["swappable"]
+
+
+class TestRetention:
+    def test_max_spans_drops_and_counts(self):
+        tr = Tracer(clock=FakeClock(), max_spans=2)
+        for i in range(5):
+            with tr.span(f"s{i}"):
+                pass
+        assert len(tr) == 2
+        assert tr.dropped == 3
+        tr.clear()
+        assert (len(tr), tr.dropped) == (0, 0)
+
+    def test_max_spans_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+
+class TestAggregate:
+    def test_aggregate_totals(self):
+        tr = Tracer(clock=FakeClock())
+        for _ in range(3):
+            with tr.span("work"):
+                pass
+        agg = tr.aggregate()
+        assert agg["work"].count == 3
+        assert agg["work"].total == pytest.approx(3.0)
+        assert agg["work"].mean == pytest.approx(1.0)
+        assert agg["work"].min == pytest.approx(1.0)
+        assert agg["work"].max == pytest.approx(1.0)
+        assert tr.total_time("work") == pytest.approx(3.0)
+        assert tr.total_time("absent") == 0.0
+
+
+class TestThreads:
+    def test_stacks_are_per_thread(self):
+        tr = Tracer()  # real clock: cross-thread fake clocks would interleave
+        n_threads, per_thread = 4, 25
+        errors = []
+
+        def worker(tid: int) -> None:
+            try:
+                for i in range(per_thread):
+                    with tr.span("outer", tid=tid) as outer:
+                        with tr.span("inner", tid=tid, i=i) as inner:
+                            pass
+                        assert inner.parent_id == outer.span_id
+                        assert inner.depth == 1
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(tr) == n_threads * per_thread * 2
+        # span ids are unique across threads
+        ids = [sp.span_id for sp in tr.finished()]
+        assert len(set(ids)) == len(ids)
+        # each inner's parent lives on the same thread
+        by_id = {sp.span_id: sp for sp in tr.finished()}
+        for sp in tr.finished():
+            if sp.name == "inner":
+                assert by_id[sp.parent_id].thread_id == sp.thread_id
