@@ -1,0 +1,42 @@
+"""Benchmark: the continual-training pipeline (`repro.pipeline`).
+
+Refreshes a serving model over a sliding window two ways -- warm-start
+boosting a few more rounds vs retraining from scratch -- and asserts the
+warm-start path is substantially cheaper in modeled device time while the
+underlying resume primitive stays bit-identical to uninterrupted training.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_pipeline_bench
+
+from conftest import print_result
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_pipeline_bench(benchmark, quick):
+    result = benchmark.pedantic(
+        lambda: run_pipeline_bench(quick=quick), rounds=1, iterations=1
+    )
+    print_result(
+        result,
+        "Pipeline bench -- warm-start refresh vs from-scratch retrain",
+        bench="pipeline",
+    )
+
+    # the whole point of warm-start refreshes: adding refresh_trees rounds
+    # must be far cheaper than retraining base_trees rounds from scratch
+    assert result.speedup >= 2.0
+    assert result.refreshes_per_hour_warm > result.refreshes_per_hour_scratch
+    # the guarantee the pipeline rests on: train(k) + resume(m) serializes
+    # byte-identically to train(k+m)
+    assert result.warmstart_bitidentical
+    # every refresh grows the ensemble by exactly refresh_trees rounds
+    trees = [r["trees"] for r in result.rows]
+    assert trees == [
+        result.base_trees + (i + 1) * result.refresh_trees
+        for i in range(result.n_refreshes)
+    ]
+    # warm-start refreshes track from-scratch quality on the holdout
+    last = result.rows[-1]
+    assert last["val_warm"] <= last["val_scratch"] * 1.25

@@ -58,6 +58,12 @@ from .obs import (
     use_registry,
     use_tracer,
 )
+from .pipeline import (
+    CheckpointStore,
+    ContinualController,
+    DriftMonitor,
+    RetrainPolicy,
+)
 from .serve import (
     BatchPolicy,
     FlatEnsemble,
@@ -113,6 +119,10 @@ __all__ = [
     "MicroBatcher",
     "ModelRegistry",
     "ServingStats",
+    "CheckpointStore",
+    "ContinualController",
+    "DriftMonitor",
+    "RetrainPolicy",
     "MetricsRegistry",
     "Tracer",
     "get_registry",

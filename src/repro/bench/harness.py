@@ -59,13 +59,18 @@ def run_gpu_gbdt(
     ds: Dataset,
     params: GBDTParams | None = None,
     spec: DeviceSpec = TITAN_X_PASCAL,
+    init_model=None,
 ) -> RunResult:
-    """Train GPU-GBDT; modeled seconds at the dataset's full scale."""
+    """Train GPU-GBDT; modeled seconds at the dataset's full scale.
+
+    ``init_model`` warm-starts boosting from an existing ensemble (the
+    continual-training refresh path), charging only the replay plus the new
+    rounds."""
     p = params if params is not None else GBDTParams()
     device = GpuDevice(spec, work_scale=ds.work_scale, seg_scale=ds.seg_scale)
     trainer = GPUGBDTTrainer(p, device, row_scale=ds.row_scale)
     try:
-        model = trainer.fit(ds.X, ds.y)
+        model = trainer.fit(ds.X, ds.y, init_model=init_model)
     except DeviceOutOfMemory as exc:
         return RunResult(
             system="ours", dataset=ds.name, seconds=None, train_rmse=None,

@@ -103,6 +103,7 @@ class GradientBoostedTrees:
         X,
         y,
         *,
+        init_model: GBDTModel | None = None,
         eval_set=None,
         early_stopping_rounds: int | None = None,
         eval_metric=None,
@@ -111,6 +112,12 @@ class GradientBoostedTrees:
 
         Parameters
         ----------
+        init_model:
+            Warm start: resume boosting from an existing ensemble instead of
+            from scratch.  ``params.n_trees`` *new* trees are appended, and
+            the result is bit-identical to one uninterrupted training of
+            ``init_model.n_trees + params.n_trees`` trees (supported by the
+            ``gpu-gbdt`` and ``cpu-reference`` backends).
         eval_set:
             Optional ``(X_val, y_val)`` pair.  When given, a per-round
             validation curve is recorded in ``self.eval_history_``.
@@ -127,6 +134,10 @@ class GradientBoostedTrees:
         y = np.asarray(y, dtype=np.float64)
         self.eval_history_ = None
         self.best_iteration_ = None
+        if init_model is not None and self.backend not in ("gpu-gbdt", "cpu-reference"):
+            raise ValueError(
+                f"backend {self.backend!r} does not support warm-start (init_model)"
+            )
         with span("fit", backend=self.backend, n_rows=Xc.n_rows, n_cols=Xc.n_cols):
             if self.backend == "gpu-gbdt":
                 from .trainer import GPUGBDTTrainer
@@ -134,13 +145,13 @@ class GradientBoostedTrees:
                 if self.device is None:
                     self.device = GpuDevice()
                 trainer = GPUGBDTTrainer(self.params, self.device, row_scale=self.row_scale)
-                self.model_ = trainer.fit(Xc, y)
+                self.model_ = trainer.fit(Xc, y, init_model=init_model)
                 self.report_ = trainer.report
             elif self.backend == "cpu-reference":
                 from ..cpu.exact_greedy import ReferenceTrainer
 
                 trainer = ReferenceTrainer(self.params)
-                self.model_ = trainer.fit(Xc, y)
+                self.model_ = trainer.fit(Xc, y, init_model=init_model)
                 self.report_ = None
             elif self.backend == "xgb-gpu-dense":
                 from ..cpu.gpu_xgboost import DenseGpuXgboostTrainer

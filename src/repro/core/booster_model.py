@@ -99,6 +99,28 @@ class GBDTModel:
             out = self.params.loss_fn.transform(out)
         return out
 
+    def predict_margin(self, X) -> np.ndarray:
+        """Raw margins accumulated tree by tree, in boosting order.
+
+        This is the warm-start path: the sum is built exactly the way the
+        trainer's :class:`~repro.core.smartgd.GradientComputer` built
+        ``yhat`` during training (one add per instance per round, in round
+        order), so resuming boosting from these margins is bit-identical to
+        never having stopped.  ``predict`` may instead route large batches
+        through the flattened ensemble, whose different summation order is
+        fine for serving but not for resuming.
+        """
+        if isinstance(X, CSRMatrix):
+            dense = X.to_dense(fill=np.nan).values
+        elif isinstance(X, DenseMatrix):
+            dense = X.values
+        else:
+            dense = np.asarray(X, dtype=np.float64)
+        out = np.full(dense.shape[0], self.base_score, dtype=np.float64)
+        for tree in self.trees:
+            out += tree.predict(dense)
+        return out
+
     def staged_predict(self, X) -> "np.ndarray":
         """``(n_trees, n_rows)`` matrix of cumulative predictions -- one row
         per boosting round (Fig. 10b's error-vs-budget curves)."""
@@ -137,10 +159,16 @@ class GBDTModel:
         )
 
     def save(self, path) -> None:
-        """Write the model to a JSON file."""
-        from pathlib import Path
+        """Write the model to a JSON file, crash-safely.
 
-        Path(path).write_text(self.to_json(), encoding="utf-8")
+        The payload goes to a temporary file in the destination directory,
+        is fsynced, and is atomically renamed into place -- a reader (or a
+        restart after a crash mid-save) sees the previous model or the new
+        one, never a truncated file.
+        """
+        from ..ioutil import atomic_write_text
+
+        atomic_write_text(path, self.to_json())
 
     @classmethod
     def load(cls, path, params: GBDTParams | None = None) -> "GBDTModel":

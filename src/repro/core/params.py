@@ -93,6 +93,19 @@ class GBDTParams:
         """Return a copy with the given fields changed (ablation helper)."""
         return dataclasses.replace(self, **kwargs)
 
+    def to_config(self) -> dict:
+        """JSON-serializable view of every field, for digesting/persisting.
+
+        The ``loss`` field is normalized to the resolved loss's registry
+        name so ``"mse"`` and ``"squared_error"`` (and a passed-in instance)
+        digest identically.
+        """
+        out = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = self.loss_fn.name if f.name == "loss" else value
+        return out
+
     def ablation_name(self) -> str:
         """Short tag describing which optimizations are off (Fig. 9 labels)."""
         off = []

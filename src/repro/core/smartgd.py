@@ -85,6 +85,42 @@ class GradientComputer:
     def _full_rows(self) -> float:
         return self.n * self.row_scale
 
+    # ------------------------------------------------------------ warm start
+    def warm_start(self, trees: List[DecisionTree]) -> None:
+        """Seed ``yhat`` with an existing ensemble's margins before boosting.
+
+        The replay adds one tree at a time in boosting order -- per instance
+        the identical sequence of float additions training itself performed
+        (SmartGD leaf scatters and traversal flushes both add exactly the
+        leaf value of the round's tree) -- so continuing to boost from here
+        is bit-identical to never having stopped.  Charged to the device as
+        one batched traversal over the resumed ensemble: warm-starting is
+        not free, it is just far cheaper than retraining.
+        """
+        if not trees:
+            return
+        if self._X is None:
+            raise ValueError("warm_start requires X")
+        if self._dense_nan is None:
+            self._dense_nan = self._X.to_dense(fill=np.nan).values
+        with span("warm_start_replay", trees=len(trees)):
+            total_depth = 0
+            for tree in trees:
+                self.yhat += tree.predict(self._dense_nan)
+                total_depth += max(tree.max_depth(), 1)
+            rows = self._full_rows()
+            self.device.launch(
+                "warm_start_replay",
+                elements=rows * total_depth,
+                flops_per_element=4.0,
+                coalesced_bytes=rows * 8 * len(trees),
+                irregular_bytes=rows * total_depth * 32,
+                scale=False,
+            )
+        get_registry().counter(
+            "warm_start_trees_total", "trees replayed to seed resumed boosting"
+        ).inc(len(trees))
+
     # ------------------------------------------------------------- reporting
     def on_leaves(self, inst_ids: np.ndarray, values: np.ndarray) -> None:
         """The trainer finalized leaves holding ``inst_ids`` with per-instance

@@ -137,18 +137,38 @@ class GPUGBDTTrainer:
         mem.alloc("instance_to_node", n_full * 4)
 
     # ------------------------------------------------------------------- fit
-    def fit(self, X: CSRMatrix, y: np.ndarray) -> GBDTModel:
-        """Train ``params.n_trees`` trees on ``(X, y)``."""
+    def fit(
+        self,
+        X: CSRMatrix,
+        y: np.ndarray,
+        *,
+        init_model: GBDTModel | None = None,
+    ) -> GBDTModel:
+        """Train ``params.n_trees`` *additional* trees on ``(X, y)``.
+
+        With ``init_model`` boosting resumes from the given ensemble: its
+        margins seed ``yhat`` (replayed in boosting order, so every float
+        add happens in the same sequence as uninterrupted training) and the
+        per-round sampling index continues from ``init_model.n_trees``.
+        Under the repo's determinism guarantees, ``fit(k trees)`` followed
+        by ``fit(m trees, init_model=...)`` is **bit-identical** to a single
+        ``fit(k + m trees)`` -- the differential tests assert byte-equal
+        ``to_json`` payloads.  The returned model contains the resumed trees
+        followed by the new ones.
+        """
         with span(
             "train",
             backend="gpu-gbdt" if not self.dense_memory_model else "xgb-gpu-dense",
             n_trees=self.params.n_trees,
             n_rows=X.n_rows,
             n_cols=X.n_cols,
+            warm_start_trees=0 if init_model is None else init_model.n_trees,
         ):
-            return self._fit(X, y)
+            return self._fit(X, y, init_model)
 
-    def _fit(self, X: CSRMatrix, y: np.ndarray) -> GBDTModel:
+    def _fit(
+        self, X: CSRMatrix, y: np.ndarray, init_model: GBDTModel | None = None
+    ) -> GBDTModel:
         p = self.params
         device = self.device
         y = np.asarray(y, dtype=np.float64)
@@ -159,6 +179,20 @@ class GPUGBDTTrainer:
             raise ValueError("need at least 2 training instances")
         if d < 1:
             raise ValueError("need at least 1 attribute")
+        init_trees: List[DecisionTree] = [] if init_model is None else list(init_model.trees)
+        round_offset = len(init_trees)
+        if init_model is not None:
+            base = p.loss_fn.base_score(y)
+            if init_model.base_score != base:
+                raise ValueError(
+                    f"init_model.base_score={init_model.base_score!r} does not match "
+                    f"the loss base score {base!r}; resuming would shift every margin"
+                )
+            if init_model.params.learning_rate != p.learning_rate:
+                raise ValueError(
+                    "init_model was trained with a different learning_rate; "
+                    "resumed rounds would not match uninterrupted training"
+                )
 
         with device.phase("setup"), span("setup"):
             csc = X.to_csc()
@@ -198,6 +232,9 @@ class GPUGBDTTrainer:
             row_scale=self.row_scale,
             X=X,
         )
+        if init_trees:
+            with device.phase("gradients"):
+                gc.warm_start(init_trees)
 
         registry = get_registry()
         rounds_total = registry.counter(
@@ -212,7 +249,10 @@ class GPUGBDTTrainer:
         trees: List[DecisionTree] = []
         n_nodes_total = 0
         n_leaves_total = 0
-        for t_idx in range(p.n_trees):
+        for t in range(p.n_trees):
+            # global boosting-round index: resumed rounds continue the
+            # sampling sequence exactly where the init model stopped
+            t_idx = round_offset + t
             t_round = time.perf_counter()
             with span("boost_round", tree=t_idx):
                 with device.phase("gradients"), span("gradients"):
@@ -243,7 +283,9 @@ class GPUGBDTTrainer:
             tree_sizes=[t.n_nodes for t in trees],
             max_depth_seen=max((t.max_depth() for t in trees), default=0),
         )
-        return GBDTModel(trees=trees, params=p, base_score=p.loss_fn.base_score(y))
+        return GBDTModel(
+            trees=init_trees + trees, params=p, base_score=p.loss_fn.base_score(y)
+        )
 
     # ------------------------------------------------------------- tree grow
     def _grow_tree(

@@ -70,14 +70,31 @@ class ReferenceTrainer:
         self.params = params if params is not None else GBDTParams()
 
     # -------------------------------------------------------------- fitting
-    def fit(self, X: CSRMatrix, y: np.ndarray) -> GBDTModel:
-        """Train ``params.n_trees`` trees with plain per-node scans."""
+    def fit(
+        self,
+        X: CSRMatrix,
+        y: np.ndarray,
+        *,
+        init_model: GBDTModel | None = None,
+    ) -> GBDTModel:
+        """Train ``params.n_trees`` *additional* trees with per-node scans.
+
+        ``init_model`` resumes boosting exactly like the GPU trainer's
+        warm start: margins are replayed tree by tree (the same per-instance
+        addition order as uninterrupted training) and the sampling index
+        continues from ``init_model.n_trees``, so ``fit(k)`` + resumed
+        ``fit(m)`` equals ``fit(k + m)`` bit for bit.
+        """
         p = self.params
         y = np.asarray(y, dtype=np.float64)
         n, d = X.shape
         if y.size != n:
             raise ValueError("y size mismatch")
         loss = p.loss_fn
+        init_trees: List[DecisionTree] = [] if init_model is None else list(init_model.trees)
+        round_offset = len(init_trees)
+        if init_model is not None and init_model.base_score != loss.base_score(y):
+            raise ValueError("init_model.base_score does not match the loss base score")
 
         csc = X.to_csc()
         base_lists: List[Tuple[np.ndarray, np.ndarray]] = []
@@ -87,8 +104,13 @@ class ReferenceTrainer:
             base_lists.append((vals[order], rows[order]))
 
         yhat = np.full(n, loss.base_score(y), dtype=np.float64)
+        if init_trees:
+            dense_nan = X.to_dense(fill=np.nan).values
+            for tree in init_trees:
+                yhat += tree.predict(dense_nan)
         trees: List[DecisionTree] = []
-        for t_idx in range(p.n_trees):
+        for t in range(p.n_trees):
+            t_idx = round_offset + t
             g, h = loss.gradients(y, yhat)
             sample = sample_tree(p.seed, t_idx, n, d, p.subsample, p.colsample_bytree)
             self._tree_attrs = sample.attrs
@@ -136,7 +158,9 @@ class ReferenceTrainer:
                 excluded = np.flatnonzero(~sample.inst_mask)
                 yhat[excluded] += tree.predict(X.select_rows(excluded))
             trees.append(tree)
-        return GBDTModel(trees=trees, params=p, base_score=loss.base_score(y))
+        return GBDTModel(
+            trees=init_trees + trees, params=p, base_score=loss.base_score(y)
+        )
 
     # -------------------------------------------------------- split finding
     def _best_split(self, node: _Node, g: np.ndarray, h: np.ndarray) -> Optional[_Candidate]:

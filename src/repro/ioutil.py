@@ -1,0 +1,87 @@
+"""Crash-safe file I/O shared by model persistence and the checkpoint store.
+
+A file that readers may load at any time must never be observable in a
+half-written state.  :func:`atomic_write_text` follows the standard recipe:
+write to a temporary file *in the destination directory* (so the rename
+stays on one filesystem), flush + fsync the data, atomically rename over
+the destination, then fsync the directory so the rename itself survives a
+power loss.
+
+Fault injection
+---------------
+``fault_hook`` is called between the write steps with the step name
+(``"begin"``, ``"written"``, ``"synced"``, ``"renamed"``).  A hook that
+raises :class:`SimulatedCrash` models a hard kill at that point: the
+exception propagates *without* cleanup, leaving the filesystem exactly as a
+``kill -9`` would (an orphaned ``*.tmp`` file at most -- never a partial
+destination file).  Any other exception is treated as an ordinary error and
+the temporary file is removed.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, Optional
+
+__all__ = ["SimulatedCrash", "atomic_write_text", "fsync_dir"]
+
+
+class SimulatedCrash(BaseException):
+    """Raised by fault-injection hooks to model a hard process kill.
+
+    Derives from ``BaseException`` so ordinary ``except Exception`` recovery
+    code cannot accidentally swallow the simulated kill.
+    """
+
+
+def fsync_dir(path: Path) -> None:
+    """Best-effort fsync of a directory (persists a completed rename)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(
+    path: Path | str,
+    text: str,
+    *,
+    encoding: str = "utf-8",
+    fault_hook: Optional[Callable[[str], None]] = None,
+) -> Path:
+    """Write ``text`` to ``path`` so readers see the old or the new content,
+    never a mixture; returns the destination path."""
+    path = Path(path)
+    hook = fault_hook if fault_hook is not None else (lambda step: None)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    tmp = Path(tmp_name)
+    try:
+        hook("begin")
+        with os.fdopen(fd, "w", encoding=encoding) as fh:
+            fh.write(text)
+            hook("written")
+            fh.flush()
+            os.fsync(fh.fileno())
+        hook("synced")
+        os.replace(tmp, path)
+        hook("renamed")
+        fsync_dir(path.parent)
+    except SimulatedCrash:
+        raise  # a hard kill cleans nothing up
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    return path

@@ -1,0 +1,71 @@
+"""Continual training: warm-start refreshes, crash-safe checkpoints, drift.
+
+The paper motivates GPU-GBDT with *frequent model refreshes* (Section IV-E
+i); this package wires the training side to the serving side as one
+pipeline:
+
+``checkpoint``
+    Atomic, checksummed, param-guarded checkpoints
+    (:class:`CheckpointStore`); resuming from one is bit-identical to never
+    having crashed because warm-start boosting is.
+``drift``
+    Incremental per-feature and prediction-distribution PSI over streaming
+    batches (:class:`DriftMonitor`).
+``controller``
+    The pull-driven loop (:class:`ContinualController`): ingest batches,
+    warm-start retrain on drift or schedule, validate on a holdout, publish
+    to the :class:`~repro.serve.ModelRegistry`, auto-roll-back on
+    validation regression.
+``demo``
+    ``python -m repro pipeline demo`` -- the whole loop on a simulated
+    stream, with an optional fault-injected checkpoint kill/resume.
+
+The warm-start primitive itself lives in the trainers
+(``GPUGBDTTrainer.fit(..., init_model=)`` and the CPU reference), where the
+differential tests pin down its bit-identity guarantee.
+"""
+
+from .checkpoint import (
+    Checkpoint,
+    CheckpointCorrupt,
+    CheckpointError,
+    CheckpointMismatch,
+    CheckpointStore,
+    SimulatedCrash,
+    load_checkpoint,
+    model_digest,
+    params_digest,
+    write_checkpoint,
+)
+from .controller import ContinualController, PipelineEvent, RetrainPolicy
+from .demo import PipelineDemoResult, run_pipeline_demo
+from .drift import (
+    DriftMonitor,
+    DriftReport,
+    FeatureDriftDetector,
+    PredictionDriftDetector,
+    psi,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointCorrupt",
+    "CheckpointError",
+    "CheckpointMismatch",
+    "CheckpointStore",
+    "ContinualController",
+    "DriftMonitor",
+    "DriftReport",
+    "FeatureDriftDetector",
+    "PipelineDemoResult",
+    "PipelineEvent",
+    "PredictionDriftDetector",
+    "RetrainPolicy",
+    "SimulatedCrash",
+    "load_checkpoint",
+    "model_digest",
+    "params_digest",
+    "psi",
+    "run_pipeline_demo",
+    "write_checkpoint",
+]

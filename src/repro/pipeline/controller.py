@@ -1,0 +1,392 @@
+"""The continual-training loop: ingest, detect drift, warm-start, publish.
+
+:class:`ContinualController` closes the loop the paper motivates with its
+credit-risk case study (Section IV-E i: retrain on a rolling window as
+transactions stream in).  It is pull-driven in the same style as
+:class:`repro.serve.batcher.MicroBatcher` -- an injectable clock, explicit
+``now=`` overrides, and a ``poll`` the host loop calls on every tick:
+
+1. :meth:`ingest` appends arriving ``(X, y)`` batches to a bounded sliding
+   window and feeds the :class:`~repro.pipeline.drift.DriftMonitor`;
+2. :meth:`poll` decides whether to refresh -- on drift past the policy
+   threshold, or on schedule -- and if so **warm-starts** boosting from the
+   serving model (``refresh_trees`` new trees on the current window) rather
+   than retraining from scratch;
+3. the candidate is validated on a fixed holdout and published to the
+   :class:`~repro.serve.ModelRegistry` (a hot swap the serving path picks
+   up on its next batch);
+4. if the validation loss regressed past ``validation_tolerance`` the
+   controller **auto-rolls-back** via ``ModelRegistry.rollback`` and keeps
+   boosting from the last good model;
+5. accepted refreshes are checkpointed crash-safely when a
+   :class:`~repro.pipeline.checkpoint.CheckpointStore` is attached.
+
+Every decision is recorded as a :class:`PipelineEvent`, traced as a
+``repro.obs`` span, and counted in the metrics registry (drift scores,
+retrains by reason, rollbacks, refresh latency).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.booster import as_csr
+from ..core.booster_model import GBDTModel
+from ..core.params import GBDTParams
+from ..core.trainer import GPUGBDTTrainer
+from ..gpusim.kernel import GpuDevice
+from ..obs import get_registry, span
+from ..serve.registry import DEFAULT_NAME, ModelRegistry
+from .checkpoint import CheckpointStore
+from .drift import DriftMonitor
+
+__all__ = ["ContinualController", "PipelineEvent", "RetrainPolicy"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RetrainPolicy:
+    """Knobs governing when the controller refreshes and when it rolls back."""
+
+    #: refresh when the drift score (worst of feature/prediction PSI) reaches this
+    drift_threshold: float = 0.25
+    #: refresh at least this often (seconds of controller clock); None = drift-only
+    schedule_interval: Optional[float] = 3600.0
+    #: never refresh more often than this (thrash guard)
+    min_retrain_interval: float = 0.0
+    #: trees appended per warm-start refresh
+    refresh_trees: int = 10
+    #: sliding-window capacity in rows (oldest rows fall out)
+    max_window_rows: int = 4096
+    #: minimum window occupancy before any refresh
+    min_window_rows: int = 64
+    #: relative validation-loss regression that triggers auto-rollback
+    validation_tolerance: float = 0.02
+    #: checkpoint every Nth accepted refresh (0 disables)
+    checkpoint_every: int = 1
+    #: histogram bins per drift detector
+    drift_bins: int = 10
+
+    def __post_init__(self) -> None:
+        if self.drift_threshold <= 0:
+            raise ValueError("drift_threshold must be positive")
+        if self.schedule_interval is not None and self.schedule_interval <= 0:
+            raise ValueError("schedule_interval must be positive or None")
+        if self.refresh_trees < 1:
+            raise ValueError("refresh_trees must be >= 1")
+        if self.max_window_rows < self.min_window_rows:
+            raise ValueError("max_window_rows must be >= min_window_rows")
+        if self.min_window_rows < 8:
+            raise ValueError("min_window_rows must be >= 8")
+        if self.validation_tolerance < 0:
+            raise ValueError("validation_tolerance must be >= 0")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if self.min_retrain_interval < 0:
+            raise ValueError("min_retrain_interval must be >= 0")
+
+
+@dataclasses.dataclass
+class PipelineEvent:
+    """One controller decision, in clock order."""
+
+    time: float
+    kind: str  # "publish" | "rollback" | "skip"
+    reason: str
+    detail: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extra = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"t={self.time:9.1f}  {self.kind:<8} {self.reason:<9} {extra}"
+
+
+class ContinualController:
+    """Drift-and-schedule-driven warm-start retraining with auto-rollback.
+
+    Parameters
+    ----------
+    params:
+        Base hyper-parameters; ``params.n_trees`` sizes the bootstrap train,
+        ``policy.refresh_trees`` sizes each warm-start refresh.
+    holdout:
+        ``(X_val, y_val)`` used for every publish/rollback decision.  Fixed
+        by design: a holdout that drifted with the stream could not detect a
+        refresh that made the model worse.
+    registry:
+        Serving-side registry to hot-swap (a private one when omitted).
+    model:
+        Optional pre-trained serving model; when omitted the first eligible
+        ``poll`` bootstraps one from the window.
+    store:
+        Optional :class:`CheckpointStore`; accepted refreshes are persisted
+        crash-safely.
+    clock / now= arguments:
+        Same convention as the micro-batcher: injectable for tests and
+        simulation, ``time.monotonic`` for real loops.
+    device_factory:
+        Builds the simulated device each refresh trains against; modeled
+        seconds accumulate into ``modeled_train_seconds``.
+    """
+
+    def __init__(
+        self,
+        params: GBDTParams,
+        holdout: Tuple[np.ndarray, np.ndarray],
+        *,
+        registry: Optional[ModelRegistry] = None,
+        model: Optional[GBDTModel] = None,
+        store: Optional[CheckpointStore] = None,
+        policy: Optional[RetrainPolicy] = None,
+        model_name: str = DEFAULT_NAME,
+        clock: Callable[[], float] = time.monotonic,
+        device_factory: Callable[[], GpuDevice] = GpuDevice,
+    ) -> None:
+        self.params = params
+        self.policy = policy if policy is not None else RetrainPolicy()
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.store = store
+        self.model_name = model_name
+        self._clock = clock
+        self._device_factory = device_factory
+
+        X_val, y_val = holdout
+        self._X_val = np.asarray(X_val, dtype=np.float64)
+        self._y_val = np.asarray(y_val, dtype=np.float64)
+
+        self._window: Deque[Tuple[np.ndarray, np.ndarray]] = deque()
+        self._window_rows = 0
+        self.monitor: Optional[DriftMonitor] = None
+        self.events: List[PipelineEvent] = []
+        self.model: Optional[GBDTModel] = None
+        self._active_val: Optional[float] = None
+        self._last_refresh: Optional[float] = None
+        self._accepted = 0
+        self.modeled_train_seconds = 0.0
+        if model is not None:
+            self._adopt(model, reason="initial", now=self._clock(), publish=True)
+
+    # -------------------------------------------------------------- ingestion
+    def ingest(self, X_batch, y_batch, now: Optional[float] = None) -> None:
+        """Append one arriving batch to the sliding window and score drift."""
+        now = self._clock() if now is None else now
+        dense = self._to_dense(X_batch)
+        y = np.asarray(y_batch, dtype=np.float64)
+        if dense.shape[0] != y.size:
+            raise ValueError("batch X/y row mismatch")
+        with span("pipeline_ingest", rows=dense.shape[0]):
+            self._window.append((dense, y))
+            self._window_rows += dense.shape[0]
+            while (
+                self._window_rows - self._window[0][0].shape[0]
+                >= self.policy.max_window_rows
+            ):
+                old, _ = self._window.popleft()
+                self._window_rows -= old.shape[0]
+            if self.model is not None:
+                if self.monitor is None:
+                    # adopted a model before seeing any data: anchor the
+                    # drift reference on the first arriving rows
+                    if self._window_rows >= 2:
+                        X_ref, _ = self._window_matrices()
+                        self.monitor = DriftMonitor.for_model(
+                            self.model, X_ref, n_bins=self.policy.drift_bins
+                        )
+                else:
+                    self.monitor.observe(dense, self.model.predict(dense))
+        get_registry().counter(
+            "pipeline_rows_ingested_total", "rows ingested into the training window"
+        ).inc(dense.shape[0])
+
+    # ----------------------------------------------------------------- polling
+    def poll(self, now: Optional[float] = None) -> List[PipelineEvent]:
+        """One controller tick; returns the events it generated (often none)."""
+        now = self._clock() if now is None else now
+        if self._window_rows < self.policy.min_window_rows:
+            return []
+        reason = self._due_reason(now)
+        if reason is None:
+            return []
+        before = len(self.events)
+        self._refresh(now, reason)
+        return self.events[before:]
+
+    def _due_reason(self, now: float) -> Optional[str]:
+        if self.model is None:
+            return "bootstrap"
+        if (
+            self._last_refresh is not None
+            and now - self._last_refresh < self.policy.min_retrain_interval
+        ):
+            return None
+        if (
+            self.monitor is not None
+            and self.monitor.report().score >= self.policy.drift_threshold
+        ):
+            return "drift"
+        if (
+            self.policy.schedule_interval is not None
+            and self._last_refresh is not None
+            and now - self._last_refresh >= self.policy.schedule_interval
+        ):
+            return "schedule"
+        return None
+
+    # ---------------------------------------------------------------- refresh
+    def _window_matrices(self) -> Tuple[np.ndarray, np.ndarray]:
+        X = np.vstack([x for x, _ in self._window])
+        y = np.concatenate([y for _, y in self._window])
+        return X, y
+
+    def _refresh(self, now: float, reason: str) -> None:
+        p = self.policy
+        reg = get_registry()
+        X_dense, y = self._window_matrices()
+        n_new = self.params.n_trees if self.model is None else p.refresh_trees
+        t0 = time.perf_counter()
+        with span(
+            "pipeline_refresh",
+            reason=reason,
+            rows=X_dense.shape[0],
+            new_trees=n_new,
+            warm=self.model is not None,
+        ):
+            device = self._device_factory()
+            trainer = GPUGBDTTrainer(
+                self.params.replace(n_trees=n_new), device
+            )
+            candidate = trainer.fit(as_csr(X_dense), y, init_model=self.model)
+            self.modeled_train_seconds += device.elapsed_seconds()
+
+            with span("pipeline_validate", rows=self._y_val.size):
+                val = float(
+                    self.params.loss_fn.value(
+                        self._y_val, candidate.predict(self._X_val)
+                    )
+                )
+            version = self.registry.publish(candidate, self.model_name)
+
+            regressed = (
+                self._active_val is not None
+                and val > self._active_val * (1.0 + p.validation_tolerance) + 1e-12
+            )
+            if regressed:
+                restored = self.registry.rollback(self.model_name)
+                reg.counter(
+                    "pipeline_rollbacks_total",
+                    "published refreshes rolled back on validation regression",
+                ).inc()
+                self.events.append(
+                    PipelineEvent(
+                        time=now,
+                        kind="rollback",
+                        reason=reason,
+                        detail={
+                            "rejected": version,
+                            "restored": restored,
+                            "val_loss": round(val, 6),
+                            "active_val_loss": round(self._active_val, 6),
+                        },
+                    )
+                )
+            else:
+                self._adopt(candidate, reason=reason, now=now, publish=False)
+                self._active_val = val
+                self.events.append(
+                    PipelineEvent(
+                        time=now,
+                        kind="publish",
+                        reason=reason,
+                        detail={
+                            "version": version,
+                            "trees": candidate.n_trees,
+                            "val_loss": round(val, 6),
+                        },
+                    )
+                )
+        wall = time.perf_counter() - t0
+        reg.counter(
+            "pipeline_retrains_total", "warm-start refreshes attempted", reason=reason
+        ).inc()
+        reg.histogram(
+            "pipeline_refresh_seconds", "wall seconds per refresh attempt"
+        ).observe(wall)
+        reg.gauge(
+            "pipeline_modeled_train_seconds",
+            "cumulative modeled device seconds spent refreshing",
+        ).set(self.modeled_train_seconds)
+        self._last_refresh = now
+        if self.monitor is not None:
+            self.monitor.reset()
+
+    def _adopt(
+        self, model: GBDTModel, *, reason: str, now: float, publish: bool
+    ) -> None:
+        """Install ``model`` as the serving model and re-anchor drift."""
+        self.model = model
+        if publish:
+            self.registry.publish(model, self.model_name)
+            self._active_val = float(
+                self.params.loss_fn.value(self._y_val, model.predict(self._X_val))
+            )
+            self._last_refresh = now
+        self._accepted += 1
+        if self._window_rows >= 2:
+            X_ref, _ = self._window_matrices()
+            self.monitor = DriftMonitor.for_model(
+                model, X_ref, n_bins=self.policy.drift_bins
+            )
+        if (
+            self.store is not None
+            and self.policy.checkpoint_every
+            and self._accepted % self.policy.checkpoint_every == 0
+        ):
+            self.store.save(
+                model,
+                self.params,
+                meta={"reason": reason, "time": now},
+            )
+
+    # ----------------------------------------------------------------- status
+    @property
+    def window_rows(self) -> int:
+        return self._window_rows
+
+    @property
+    def active_version(self) -> Optional[str]:
+        try:
+            return self.registry.active(self.model_name).version
+        except KeyError:
+            return None
+
+    def summary(self) -> Dict[str, float]:
+        """Counters for reports and tests."""
+        kinds = [e.kind for e in self.events]
+        reasons = [e.reason for e in self.events if e.kind == "publish"]
+        return {
+            "publishes": float(kinds.count("publish")),
+            "rollbacks": float(kinds.count("rollback")),
+            "drift_refreshes": float(reasons.count("drift")),
+            "scheduled_refreshes": float(reasons.count("schedule")),
+            "window_rows": float(self._window_rows),
+            "modeled_train_seconds": self.modeled_train_seconds,
+            "active_val_loss": float("nan")
+            if self._active_val is None
+            else self._active_val,
+        }
+
+    @staticmethod
+    def _to_dense(X) -> np.ndarray:
+        from ..data.matrix import CSRMatrix, DenseMatrix
+
+        if isinstance(X, CSRMatrix):
+            return X.to_dense(fill=np.nan).values
+        if isinstance(X, DenseMatrix):
+            return X.values
+        dense = np.asarray(X, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("expected a 2-D batch")
+        return dense

@@ -1,0 +1,216 @@
+"""``python -m repro pipeline demo``: the whole continual loop on one stream.
+
+Two phases on a simulated credit-risk-shaped stream:
+
+**Phase A -- checkpointed base training.**  The base model is boosted one
+round at a time, checkpointing crash-safely after every round.  With
+``kill_at_round=K`` the demo simulates a hard kill *during* the round-K
+checkpoint write -- and, to make recovery earn its keep, a torn
+(truncated) file is left at the destination the way a non-atomic writer
+would.  Re-running with ``resume=True`` refuses the torn file (checksum),
+falls back to the newest valid checkpoint, and warm-starts the remaining
+rounds; because warm-start boosting is bit-identical, the resumed run ends
+on the **same content digest** as an uninterrupted one (the CI smoke step
+asserts exactly this).
+
+**Phase B -- drift-triggered continual training.**  Batches are sampled
+with weights that slide toward high values of the first feature, so the
+arriving distribution shifts (covariate drift) while labels stay consistent
+with features, and a mid-stream run of batches carries corrupted labels
+(a poisoned upstream join).  The :class:`~repro.pipeline.ContinualController`
+ingests batches on a simulated clock, warm-start-refreshes on drift or
+schedule, publishes to the serving registry, and auto-rolls-back the
+refresh trained on poisoned labels when holdout validation regresses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.params import GBDTParams
+from ..core.trainer import GPUGBDTTrainer
+from ..data.datasets import make_dataset
+from ..gpusim.kernel import GpuDevice
+from ..ioutil import SimulatedCrash
+from ..obs import span
+from ..serve.registry import ModelRegistry
+from .checkpoint import CheckpointStore, model_digest
+from .controller import ContinualController, PipelineEvent, RetrainPolicy
+
+__all__ = ["PipelineDemoResult", "run_pipeline_demo"]
+
+
+@dataclasses.dataclass
+class PipelineDemoResult:
+    """Everything the demo run decided and produced."""
+
+    digest: str  # content digest of the final active model
+    base_digest: str  # digest after phase A (base training)
+    base_rounds: int
+    resumed_from: Optional[int]  # checkpoint round resumed from, if any
+    checkpoint_rounds: List[int]
+    events: List[PipelineEvent]
+    summary: dict
+    modeled_train_seconds: float
+
+    @property
+    def text(self) -> str:
+        lines = [
+            "continual-training pipeline demo",
+            "=" * 64,
+            f"phase A: base model of {self.base_rounds} rounds"
+            + (
+                f" (resumed from checkpoint round {self.resumed_from})"
+                if self.resumed_from is not None
+                else " (no resume)"
+            ),
+            f"  checkpoints on disk: rounds {self.checkpoint_rounds}",
+            f"  base model digest: {self.base_digest}",
+            "phase B: drifting stream with a poisoned-label window",
+        ]
+        for e in self.events:
+            lines.append(f"  {e}")
+        s = self.summary
+        lines += [
+            f"refreshes published: {int(s['publishes'])} "
+            f"(drift={int(s['drift_refreshes'])}, schedule={int(s['scheduled_refreshes'])}); "
+            f"rollbacks: {int(s['rollbacks'])}",
+            f"modeled device seconds across all refreshes: "
+            f"{self.modeled_train_seconds:.3f}",
+            f"PIPELINE_DIGEST={self.digest}",
+        ]
+        return "\n".join(lines)
+
+
+def _make_torn_file(path: Path) -> None:
+    """Leave a torn half-written checkpoint, as a non-atomic writer would."""
+    path.write_text('{"format": "repro-ckpt-v1", "checksum": "dead', encoding="utf-8")
+
+
+def run_pipeline_demo(
+    *,
+    quick: bool = False,
+    ckpt_dir: Optional[Path | str] = None,
+    kill_at_round: Optional[int] = None,
+    resume: bool = False,
+    seed: int = 11,
+) -> PipelineDemoResult:
+    """Run the demo; raises :class:`SimulatedCrash` when ``kill_at_round``
+    is reached (the CLI maps it to exit code 3)."""
+    with span("pipeline_demo", quick=quick, resume=resume):
+        return _run(quick, ckpt_dir, kill_at_round, resume, seed)
+
+
+def _run(quick, ckpt_dir, kill_at_round, resume, seed) -> PipelineDemoResult:
+    ds = make_dataset("covtype", run_rows=320 if quick else 800, seed=seed)
+    params = GBDTParams(n_trees=6 if quick else 12, max_depth=4, seed=3)
+    store = CheckpointStore(
+        ckpt_dir if ckpt_dir is not None else tempfile.mkdtemp(prefix="repro-ckpt-")
+    )
+
+    # ---------------------------------------------- phase A: base training
+    model = None
+    start_round = 0
+    resumed_from: Optional[int] = None
+    if resume:
+        ck = store.latest(params)
+        if ck is not None:
+            model = ck.restore_model(params)
+            start_round = ck.round
+            resumed_from = ck.round
+    modeled = 0.0
+    for r in range(start_round + 1, params.n_trees + 1):
+        device = GpuDevice()
+        trainer = GPUGBDTTrainer(params.replace(n_trees=1), device)
+        model = trainer.fit(ds.X, ds.y, init_model=model)
+        modeled += device.elapsed_seconds()
+
+        fault_hook = None
+        if kill_at_round is not None and r == kill_at_round:
+            target = store.path_for(r)
+
+            def fault_hook(step: str, _target=target, _r=r) -> None:
+                if step == "synced":
+                    # a torn write at the destination plus the orphan tmp:
+                    # exactly what a kill mid-write on a non-atomic
+                    # filesystem leaves behind
+                    _make_torn_file(_target)
+                    raise SimulatedCrash(
+                        f"simulated kill during checkpoint write (round {_r})"
+                    )
+
+        store.save(model, params, meta={"phase": "base"}, fault_hook=fault_hook)
+    assert model is not None
+    base_digest = model_digest(model)
+
+    # ------------------------------------- phase B: drifting stream + poison
+    dense = ds.X.to_dense(fill=np.nan).values
+    y = ds.y
+    # covariate drift that preserves P(y|x): batches are drawn with sampling
+    # weights that slide toward high values of the first feature as the
+    # stream progresses, so the arriving feature distribution shifts while
+    # the labels stay consistent with the features
+    key = np.where(np.isnan(dense[:, 0]), 0.0, dense[:, 0])
+    rank = np.argsort(np.argsort(key)) / max(key.size - 1, 1)
+
+    batch_rows = 30 if quick else 64
+    n_batches = 12
+    poison = {5, 6}
+    rng = np.random.default_rng(99)
+
+    registry = ModelRegistry()
+    # serving-side refreshes checkpoint into their own subdirectory so a
+    # later phase-A resume never confuses a refresh for a base round
+    serving_store = CheckpointStore(store.directory / "serving")
+    policy = RetrainPolicy(
+        drift_threshold=0.25,
+        schedule_interval=3000.0,
+        min_retrain_interval=1100.0,
+        refresh_trees=2 if quick else 4,
+        max_window_rows=4 * batch_rows,
+        min_window_rows=3 * batch_rows,
+        validation_tolerance=0.05,
+        checkpoint_every=1,
+    )
+    now = 0.0
+    controller = ContinualController(
+        params,
+        (ds.X_test.to_dense(fill=np.nan).values, ds.y_test),
+        registry=registry,
+        model=model,
+        store=serving_store,
+        policy=policy,
+        clock=lambda: now,
+    )
+    for b in range(n_batches):
+        # sampling weights slide from uniform to ~e^3:1 in favour of rows
+        # with a high first feature -- the drift the monitor should catch
+        frac = b / max(n_batches - 1, 1)
+        logits = 3.0 * frac * rank
+        w = np.exp(logits - logits.max())
+        idx = rng.choice(rank.size, size=batch_rows, replace=False, p=w / w.sum())
+        yb = y[idx]
+        if b in poison:
+            # corrupted upstream labels: sign-flipped with heavy noise
+            yb = -yb + rng.normal(0.0, 2.0, size=yb.size)
+        now += 600.0
+        controller.ingest(dense[idx], yb, now=now)
+        controller.poll(now=now)
+    modeled += controller.modeled_train_seconds
+
+    assert controller.active_version is not None
+    return PipelineDemoResult(
+        digest=controller.active_version,
+        base_digest=base_digest,
+        base_rounds=params.n_trees,
+        resumed_from=resumed_from,
+        checkpoint_rounds=store.rounds(),
+        events=list(controller.events),
+        summary=controller.summary(),
+        modeled_train_seconds=modeled,
+    )

@@ -57,3 +57,107 @@ class TestSerialization:
 
         payload = json.loads(m.to_json())
         assert "trees" in payload and len(payload["trees"]) == 1
+
+
+def stump(attr=0, threshold=0.5, left=-0.25, right=0.75, default_left=True):
+    t = DecisionTree()
+    t.add_root()
+    lid, rid = t.split_node(0, attr, threshold, default_left, 1.0)
+    t.set_leaf(lid, left)
+    t.set_leaf(rid, right)
+    return t
+
+
+class TestAdversarialRoundTrip:
+    """Round-trip under the degenerate shapes a pipeline can produce."""
+
+    def test_empty_ensemble(self):
+        m = GBDTModel(trees=[], params=GBDTParams(), base_score=0.5)
+        r = GBDTModel.from_json(m.to_json())
+        assert r.n_trees == 0
+        assert r.to_json() == m.to_json()
+        assert np.allclose(r.predict(np.zeros((4, 2))), 0.5)
+
+    def test_single_stump(self):
+        m = GBDTModel(trees=[stump()], params=GBDTParams(), base_score=0.0)
+        r = GBDTModel.from_json(m.to_json())
+        X = np.array([[1.0], [0.0], [np.nan]])
+        assert np.array_equal(m.predict(X), r.predict(X))
+        assert r.to_json() == m.to_json()
+
+    def test_leaf_only_trees(self):
+        m = GBDTModel(trees=[leaf_tree(0.25), leaf_tree(-1.5)], params=GBDTParams())
+        r = GBDTModel.from_json(m.to_json())
+        assert r.to_json() == m.to_json()
+        assert np.allclose(r.predict(np.zeros((2, 1))), -1.25)
+
+    def test_nan_threshold(self):
+        """A NaN threshold must survive serialization and route identically:
+        every observed value fails ``v > nan``, so only ``default_left``
+        (missing) rows can go left."""
+        import math
+
+        m = GBDTModel(
+            trees=[stump(threshold=float("nan"), default_left=True)],
+            params=GBDTParams(),
+        )
+        r = GBDTModel.from_json(m.to_json())
+        assert math.isnan(r.trees[0].threshold[0])
+        X = np.array([[5.0], [-5.0], [np.nan]])
+        out = r.predict(X)
+        assert np.array_equal(out, m.predict(X))
+        assert out[0] == out[1] == 0.75  # observed values go right
+        assert out[2] == -0.25  # missing follows default_left
+
+    def test_infinite_leaf_and_threshold_values(self):
+        m = GBDTModel(
+            trees=[stump(threshold=float("inf"), left=float("-inf"), right=1e308)],
+            params=GBDTParams(),
+        )
+        r = GBDTModel.from_json(m.to_json())
+        assert r.to_json() == m.to_json()
+        X = np.array([[1.0], [np.nan]])
+        assert np.array_equal(r.predict(X), m.predict(X))
+
+    def test_double_roundtrip_is_byte_stable(self, covtype_small):
+        ds = covtype_small
+        model = GPUGBDTTrainer(GBDTParams(n_trees=3, max_depth=3)).fit(ds.X, ds.y)
+        once = GBDTModel.from_json(model.to_json(), params=model.params)
+        twice = GBDTModel.from_json(once.to_json(), params=model.params)
+        assert model.to_json() == once.to_json() == twice.to_json()
+
+
+class TestCrashSafeSave:
+    def test_save_load_roundtrip(self, tmp_path):
+        m = GBDTModel(trees=[stump()], params=GBDTParams(), base_score=0.1)
+        path = tmp_path / "model.json"
+        m.save(path)
+        r = GBDTModel.load(path)
+        assert r.to_json() == m.to_json()
+
+    def test_save_is_atomic_under_kill(self, tmp_path, monkeypatch):
+        from repro import ioutil
+        from repro.ioutil import SimulatedCrash
+
+        m = GBDTModel(trees=[stump()], params=GBDTParams())
+        path = tmp_path / "model.json"
+        m.save(path)
+        before = path.read_text(encoding="utf-8")
+
+        m2 = GBDTModel(trees=[stump(), stump()], params=GBDTParams())
+        orig = ioutil.atomic_write_text
+
+        def killing_write(p, text, **kw):
+            def hook(step):
+                if step == "synced":
+                    raise SimulatedCrash(step)
+
+            return orig(p, text, fault_hook=hook)
+
+        # save() resolves atomic_write_text lazily, so patching the module
+        # attribute intercepts the write
+        monkeypatch.setattr(ioutil, "atomic_write_text", killing_write)
+        with pytest.raises(SimulatedCrash):
+            m2.save(path)
+        # the kill mid-save never tore the destination
+        assert path.read_text(encoding="utf-8") == before

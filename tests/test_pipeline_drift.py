@@ -1,0 +1,140 @@
+"""Tests for streaming drift detection (PSI)."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (
+    DriftMonitor,
+    FeatureDriftDetector,
+    PredictionDriftDetector,
+    psi,
+)
+
+
+def test_psi_zero_for_identical_fractions():
+    assert psi([10, 20, 30], [1, 2, 3]) == pytest.approx(0.0)
+
+
+def test_psi_positive_for_shifted_mass():
+    assert psi([25, 25, 25, 25], [70, 10, 10, 10]) > 0.25
+
+
+def test_psi_empty_counts_score_zero():
+    assert psi([0, 0], [0, 0]) == 0.0
+
+
+def test_psi_shape_mismatch_raises():
+    with pytest.raises(ValueError):
+        psi([1, 2], [1, 2, 3])
+
+
+class TestPredictionDetector:
+    def test_same_distribution_is_stable(self):
+        rng = np.random.default_rng(0)
+        ref = rng.normal(size=4000)
+        det = PredictionDriftDetector(ref)
+        det.update(rng.normal(size=4000))
+        assert det.score() < 0.05
+
+    def test_shift_is_detected(self):
+        rng = np.random.default_rng(0)
+        det = PredictionDriftDetector(rng.normal(size=4000))
+        det.update(rng.normal(loc=1.5, size=4000))
+        assert det.score() > 0.25
+
+    def test_incremental_equals_one_shot(self):
+        rng = np.random.default_rng(1)
+        ref = rng.normal(size=2000)
+        stream = rng.normal(loc=0.4, size=1200)
+
+        inc = PredictionDriftDetector(ref)
+        for chunk in np.array_split(stream, 7):
+            inc.update(chunk)
+        one = PredictionDriftDetector(ref)
+        one.update(stream)
+        assert inc.score() == pytest.approx(one.score(), abs=0)
+        assert inc.n_seen == one.n_seen == stream.size
+
+    def test_reset_clears_counts(self):
+        rng = np.random.default_rng(2)
+        det = PredictionDriftDetector(rng.normal(size=500))
+        det.update(rng.normal(loc=3.0, size=500))
+        det.reset()
+        assert det.n_seen == 0
+        det.update(rng.normal(size=500))
+        assert det.score() < 0.15  # sampling noise only, far below the shift
+
+
+class TestFeatureDetector:
+    def test_per_feature_scores(self):
+        rng = np.random.default_rng(3)
+        ref = rng.normal(size=(2000, 3))
+        det = FeatureDriftDetector(ref)
+        batch = rng.normal(size=(2000, 3))
+        batch[:, 1] += 2.0  # only feature 1 drifts
+        det.update(batch)
+        scores = det.feature_scores()
+        assert scores[1] > 0.25
+        assert scores[0] < 0.1 and scores[2] < 0.1
+
+    def test_missingness_shift_registers(self):
+        rng = np.random.default_rng(4)
+        ref = rng.normal(size=(1000, 1))
+        det = FeatureDriftDetector(ref)
+        batch = rng.normal(size=(1000, 1))
+        batch[:600, 0] = np.nan  # values unchanged, missingness exploded
+        det.update(batch)
+        assert det.feature_scores()[0] > 0.25
+
+    def test_constant_feature_stays_quiet(self):
+        ref = np.hstack([np.ones((200, 1)), np.arange(200).reshape(-1, 1)])
+        det = FeatureDriftDetector(ref)
+        det.update(ref)
+        assert np.all(det.feature_scores() < 1e-6)
+
+    def test_column_mismatch_raises(self):
+        det = FeatureDriftDetector(np.zeros((10, 2)) + np.arange(10).reshape(-1, 1))
+        with pytest.raises(ValueError):
+            det.update(np.zeros((5, 3)))
+
+
+class TestMonitor:
+    def _monitor(self, rng):
+        ref_X = rng.normal(size=(1500, 2))
+        ref_pred = rng.normal(size=1500)
+        return DriftMonitor(ref_X, ref_pred), ref_X, ref_pred
+
+    def test_report_score_is_worst_of_both(self):
+        rng = np.random.default_rng(5)
+        mon, _, _ = self._monitor(rng)
+        X = rng.normal(size=(1500, 2))
+        X[:, 0] += 2.0
+        mon.observe(X, rng.normal(size=1500))  # features drift, preds do not
+        rep = mon.report()
+        assert rep.score == rep.max_feature_psi > rep.prediction_psi
+        assert rep.top_features[0] == 0
+        assert mon.drifted(0.25)
+
+    def test_rebase_quiets_a_drifted_stream(self):
+        rng = np.random.default_rng(6)
+        mon, _, _ = self._monitor(rng)
+        X = rng.normal(loc=2.0, size=(1500, 2))
+        preds = rng.normal(loc=1.0, size=1500)
+        mon.observe(X, preds)
+        assert mon.drifted(0.25)
+        mon.rebase(X, preds)
+        mon.observe(
+            rng.normal(loc=2.0, size=(1500, 2)), rng.normal(loc=1.0, size=1500)
+        )
+        assert not mon.drifted(0.25)
+
+    def test_for_model_uses_model_predictions(self, covtype_small):
+        from repro import GBDTParams, GPUGBDTTrainer
+
+        ds = covtype_small
+        model = GPUGBDTTrainer(GBDTParams(n_trees=2, max_depth=3)).fit(ds.X, ds.y)
+        dense = ds.X.to_dense(fill=np.nan).values
+        mon = DriftMonitor.for_model(model, dense)
+        mon.observe(dense, model.predict(dense))
+        # same rows, same model: nothing drifted
+        assert mon.report().score < 0.05
