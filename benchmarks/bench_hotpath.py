@@ -1,0 +1,46 @@
+"""Benchmark: hot-path wall-clock speedup of the workspace arena.
+
+Unlike the figure/table benchmarks (modeled seconds), this one measures
+real wall time: the same training runs with the arena off and on, asserting
+byte-identical models and reporting the speedup.  ``--quick-bench`` runs
+only the tiny smoke workload.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.hotpath import run_hotpath, write_hotpath_json
+
+from conftest import print_result
+
+
+@pytest.mark.benchmark(group="hotpath")
+def test_hotpath(benchmark, quick):
+    workloads = ["smoke"] if quick else ["medium", "rle", "deep"]
+    result = benchmark.pedantic(
+        lambda: run_hotpath(workloads, repeats=1 if quick else 3),
+        rounds=1,
+        iterations=1,
+    )
+    print_result(result, "Hot path -- wall-clock, arena off vs. on", bench="hotpath")
+
+    out_dir = Path(os.environ.get("BENCH_METRICS_DIR", Path(__file__).parent / "out"))
+    path = write_hotpath_json(result, out_dir / "BENCH_hotpath.json")
+    print(f"[hotpath json -> {path}]")
+
+    # the arena must never change the trees, at any scale
+    for row in result.rows:
+        assert row.identical_models, row.workload
+
+    if not quick:
+        baseline = json.loads(
+            (Path(__file__).resolve().parent.parent / "results" / "perf_baseline.json").read_text()
+        )
+        floor = float(baseline["gates"]["min_medium_speedup"])
+        medium = result.row("medium")
+        assert medium.speedup >= floor, (
+            f"medium arena speedup {medium.speedup:.2f}x below gate {floor}x"
+        )

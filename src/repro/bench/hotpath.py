@@ -1,0 +1,224 @@
+"""Hot-path wall-clock benchmark: workspace arena on vs. off.
+
+Unlike the rest of :mod:`repro.bench` -- which reports *modeled* seconds
+from the simulated device's cost model -- this module measures the real
+wall-clock time of the training hot path.  The quantity under test is the
+effect of the :class:`~repro.core.workspace.WorkspaceArena`: with the arena
+enabled the level loop of :meth:`GPUGBDTTrainer._grow_tree` runs on reused
+preallocated buffers instead of allocating fresh ``np.empty`` /
+``np.concatenate`` temporaries at every level.
+
+Three fixed synthetic workloads:
+
+``medium``
+    The gated workload: dense-ish sparse-path training (``rle_policy
+    "never"``), the regime the arena targets.  ``results/perf_baseline.json``
+    records its expected speedup and absolute times, and
+    ``tests/test_perf_smoke.py`` gates on them with generous slack.
+``rle``
+    Same trainer with RLE-compressed attribute lists (informational: run
+    splitting adds run-linear work the arena only partly absorbs).
+``deep``
+    Many small levels (informational: Python per-call overhead dominates).
+
+Every run also asserts that arena-on and arena-off produce **byte-identical
+serialized models** -- the benchmark refuses to report a speedup obtained by
+changing the trees.
+
+Run via pytest (``benchmarks/bench_hotpath.py``) or directly::
+
+    PYTHONPATH=src python -m repro.bench.hotpath --out benchmarks/out/BENCH_hotpath.json
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.params import GBDTParams
+from ..core.trainer import GPUGBDTTrainer
+from ..data.matrix import CSRMatrix
+
+__all__ = [
+    "HOTPATH_WORKLOADS",
+    "HotpathResult",
+    "WorkloadSpec",
+    "make_hotpath_data",
+    "run_hotpath",
+    "run_workload",
+    "write_hotpath_json",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """One fixed synthetic training configuration."""
+
+    name: str
+    n_rows: int
+    n_cols: int
+    n_trees: int
+    max_depth: int
+    rle_policy: str
+    gated: bool  # participates in the perf-smoke gate
+
+    def params(self) -> GBDTParams:
+        return GBDTParams(
+            n_trees=self.n_trees,
+            max_depth=self.max_depth,
+            learning_rate=0.3,
+            lambda_=1.0,
+            rle_policy=self.rle_policy,
+            seed=7,
+        )
+
+
+#: The fixed workload set.  ``medium`` is the acceptance-gated one.
+HOTPATH_WORKLOADS: Dict[str, WorkloadSpec] = {
+    "medium": WorkloadSpec("medium", 8000, 16, 10, 6, "never", gated=True),
+    "rle": WorkloadSpec("rle", 4000, 12, 10, 6, "always", gated=False),
+    "deep": WorkloadSpec("deep", 1000, 20, 20, 8, "paper", gated=False),
+    # tiny variant for CI smoke runs; same code paths, seconds not gated
+    "smoke": WorkloadSpec("smoke", 600, 8, 4, 4, "never", gated=False),
+}
+
+
+def make_hotpath_data(
+    n_rows: int, n_cols: int, seed: int = 0
+) -> Tuple[CSRMatrix, np.ndarray]:
+    """Deterministic synthetic regression data with the shapes the hot path
+    cares about: ~80% density, quantized (RLE-friendly) columns, and one
+    constant column."""
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(size=(n_rows, n_cols))
+    for j in range(0, n_cols, 3):
+        dense[:, j] = np.round(dense[:, j] * 2) / 2
+    dense[:, 1 % n_cols] = 1.0
+    mask = rng.random((n_rows, n_cols)) < 0.8
+    y = dense @ rng.normal(size=n_cols) + rng.normal(scale=0.1, size=n_rows)
+    r, c = np.nonzero(mask)
+    X = CSRMatrix.from_coo(r, c, dense[r, c], n_rows=n_rows, n_cols=n_cols)
+    return X, y
+
+
+@dataclasses.dataclass
+class WorkloadResult:
+    """Timing of one workload, arena off vs. on."""
+
+    workload: str
+    gated: bool
+    arena_off_s: float
+    arena_on_s: float
+    speedup: float
+    identical_models: bool
+    arena_reserved_bytes: int
+    arena_buffers: int
+
+
+@dataclasses.dataclass
+class HotpathResult:
+    """All workload timings plus the rendered table."""
+
+    rows: List[WorkloadResult]
+    repeats: int
+
+    @property
+    def text(self) -> str:
+        hdr = f"{'workload':>10} {'off (s)':>9} {'on (s)':>9} {'speedup':>8}  gated"
+        lines = [hdr, "-" * len(hdr)]
+        for r in self.rows:
+            lines.append(
+                f"{r.workload:>10} {r.arena_off_s:>9.4f} {r.arena_on_s:>9.4f}"
+                f" {r.speedup:>7.2f}x  {'yes' if r.gated else 'no'}"
+            )
+        return "\n".join(lines)
+
+    def row(self, workload: str) -> WorkloadResult:
+        for r in self.rows:
+            if r.workload == workload:
+                return r
+        raise KeyError(workload)
+
+
+def _time_fit(params, X, y, use_arena: bool, repeats: int):
+    """Best-of-``repeats`` wall-clock fit time (best-of defeats scheduler
+    noise; the work is deterministic so the minimum is the honest number).
+    Returns ``(seconds, model, trainer)`` from the last repeat."""
+    best = float("inf")
+    trainer = model = None
+    for _ in range(max(1, repeats)):
+        trainer = GPUGBDTTrainer(params, use_arena=use_arena)
+        t0 = time.perf_counter()
+        model = trainer.fit(X, y)
+        best = min(best, time.perf_counter() - t0)
+    assert trainer is not None and model is not None
+    return best, model, trainer
+
+
+def run_workload(spec: WorkloadSpec, repeats: int = 3) -> WorkloadResult:
+    """Time one workload with the arena off and on, and verify identity."""
+    X, y = make_hotpath_data(spec.n_rows, spec.n_cols)
+    params = spec.params()
+    off_s, off_model, _ = _time_fit(params, X, y, use_arena=False, repeats=repeats)
+    on_s, on_model, on_tr = _time_fit(params, X, y, use_arena=True, repeats=repeats)
+    identical = off_model.to_json() == on_model.to_json()
+    return WorkloadResult(
+        workload=spec.name,
+        gated=spec.gated,
+        arena_off_s=off_s,
+        arena_on_s=on_s,
+        speedup=off_s / on_s if on_s > 0 else float("inf"),
+        identical_models=identical,
+        arena_reserved_bytes=on_tr.workspace.reserved_bytes,
+        arena_buffers=on_tr.workspace.n_buffers,
+    )
+
+
+def run_hotpath(
+    workloads: List[str] | None = None, repeats: int = 3
+) -> HotpathResult:
+    """Run the named workloads (default: all but ``smoke``)."""
+    names = workloads if workloads is not None else ["medium", "rle", "deep"]
+    rows = [run_workload(HOTPATH_WORKLOADS[name], repeats=repeats) for name in names]
+    return HotpathResult(rows=rows, repeats=repeats)
+
+
+def write_hotpath_json(result: HotpathResult, path: str | Path) -> Path:
+    """Write ``BENCH_hotpath.json``: one document with per-workload rows."""
+    from .regress import to_payload
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # asdict first: to_payload's cleaner keeps scalars/containers only and
+    # would silently drop the nested WorkloadResult dataclasses
+    payload = to_payload(dataclasses.asdict(result))
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8")
+    return path
+
+
+def main(argv: List[str] | None = None) -> int:
+    import argparse
+
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--workloads", nargs="*", default=None, help="subset of workload names")
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--out", default=None, help="write BENCH_hotpath.json here")
+    args = ap.parse_args(argv)
+    result = run_hotpath(args.workloads, repeats=args.repeats)
+    print(result.text)
+    bad = [r.workload for r in result.rows if not r.identical_models]
+    if args.out:
+        print(f"[-> {write_hotpath_json(result, args.out)}]")
+    if bad:
+        print(f"ERROR: arena changed the trees on: {', '.join(bad)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -43,6 +43,7 @@ from ..gpusim.primitives import (
     segmented_sum,
 )
 from ..obs import traced
+from .workspace import IDX_DTYPE, WorkspaceArena
 
 __all__ = ["PartitionPlan", "plan_partition", "partition_segments", "COUNTER_BYTES"]
 
@@ -125,6 +126,9 @@ def partition_segments(
     *,
     bytes_per_element: int = 16,
     name: str = "histogram_partition",
+    workspace: WorkspaceArena | None = None,
+    sid: np.ndarray | None = None,
+    drop_to_trash: bool = False,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Order-preserving scatter of every old segment into mapped children.
 
@@ -146,15 +150,35 @@ def partition_segments(
         traffic).
     bytes_per_element:
         Payload moved per element across all arrays being scattered.
+    workspace:
+        Optional :class:`~repro.core.workspace.WorkspaceArena`.  When given,
+        the histogram/rank/scatter passes are fused into one arena-backed
+        pass (two global cumsums instead of four segmented primitives, every
+        per-element temporary a reused view) -- bit-identical ``dest`` /
+        ``new_offsets``, same device charges.
+    sid:
+        Optional precomputed element -> segment map (the trainer computes it
+        once per level anyway); only consulted on the workspace path.
+    drop_to_trash:
+        When True, dropped elements get ``dest == new_offsets[-1]`` (one
+        past the end) instead of ``-1``, so callers can scatter *without*
+        boolean compression by writing into a buffer with one trash slot.
 
     Returns
     -------
     dest:
-        Per-element destination (``-1`` if dropped).  Order within each
-        ``(old segment, side)`` group is preserved -- the Fig. 2 invariant.
+        Per-element destination (``-1`` if dropped, unless
+        ``drop_to_trash``).  Order within each ``(old segment, side)`` group
+        is preserved -- the Fig. 2 invariant.
     new_offsets:
         ``(n_new_segments + 1,)`` segmentation of the scattered array.
     """
+    if workspace is not None and workspace.enabled:
+        return _partition_segments_arena(
+            device, offsets, side, left_seg, right_seg, n_new_segments, plan,
+            bytes_per_element=bytes_per_element, name=name,
+            workspace=workspace, sid=sid, drop_to_trash=drop_to_trash,
+        )
     side = np.asarray(side, dtype=np.int8)
     n = side.size
     offsets = check_offsets(offsets, n)
@@ -197,6 +221,19 @@ def partition_segments(
     dest[lmask] = new_offsets[left_seg[sid[lmask]]] + rank_left[lmask]
     dest[rmask] = new_offsets[right_seg[sid[rmask]]] + rank_right[rmask]
 
+    if drop_to_trash:
+        dest[dest < 0] = new_offsets[-1]
+
+    _charge_partition(device, n, plan, bytes_per_element, name)
+    return dest, new_offsets
+
+
+def _charge_partition(
+    device: GpuDevice, n: int, plan: PartitionPlan, bytes_per_element: int, name: str
+) -> None:
+    """The modeled device cost of one partition pass (shared by both host
+    implementations -- the arena fast path must charge exactly what the
+    legacy path charges)."""
     # histogram pass(es) + scatter: the naive fixed workload may need
     # several passes when its counters blow the memory budget.
     # The scatter's destinations increase monotonically within each
@@ -224,4 +261,93 @@ def partition_segments(
         coalesced_bytes=2.0 * plan.counter_bytes,
         scale=False,
     )
+
+
+def _partition_segments_arena(
+    device: GpuDevice,
+    offsets: np.ndarray,
+    side: np.ndarray,
+    left_seg: np.ndarray,
+    right_seg: np.ndarray,
+    n_new_segments: int,
+    plan: PartitionPlan,
+    *,
+    bytes_per_element: int,
+    name: str,
+    workspace: WorkspaceArena,
+    sid: np.ndarray | None,
+    drop_to_trash: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fused arena implementation of :func:`partition_segments`.
+
+    One stable pass: two global int cumsums provide both the per-element
+    ranks *and* (read at segment ends) the per-segment histogram counts the
+    legacy path recomputed with two extra segmented reductions.  Every
+    n-element temporary is a reused arena view.  ``dest`` / ``new_offsets``
+    are bit-identical to the legacy path; the device is charged identically.
+    """
+    ws = workspace
+    side = np.asarray(side, dtype=np.int8)
+    n = side.size
+    offsets = check_offsets(offsets, n)
+    n_seg = offsets.size - 1
+    left_seg = np.asarray(left_seg, dtype=IDX_DTYPE)
+    right_seg = np.asarray(right_seg, dtype=IDX_DTYPE)
+    if left_seg.size != n_seg or right_seg.size != n_seg:
+        raise ValueError("segment maps must have one entry per old segment")
+    for m in (left_seg, right_seg):
+        if m.size and m.max() >= n_new_segments:
+            raise ValueError("segment map points past n_new_segments")
+    if sid is None:
+        sid = seg_ids(offsets, n)
+    if n == 0:
+        new_offsets = np.zeros(n_new_segments + 1, dtype=IDX_DTYPE)
+        _charge_partition(device, 0, plan, bytes_per_element, name)
+        return np.empty(0, dtype=IDX_DTYPE), new_offsets
+    starts = offsets[:-1]
+    ends = offsets[1:]
+    lens = ends - starts
+
+    # -- fused histogram + rank: one cumsum per side -------------------------
+    is_left = np.equal(side, 0, out=ws.buf(f"{name}/is_l", n, bool))
+    is_right = np.equal(side, 1, out=ws.buf(f"{name}/is_r", n, bool))
+    cum_left = ws.buf(f"{name}/cum_l", n, IDX_DTYPE)
+    cum_right = ws.buf(f"{name}/cum_r", n, IDX_DTYPE)
+    np.cumsum(is_left, out=cum_left)
+    np.cumsum(is_right, out=cum_right)
+    # per-segment carry cancellation (the segmented-scan behavior) and, read
+    # at each segment's last element, the per-segment left/right histogram
+    base_l = np.where(starts > 0, cum_left[np.maximum(starts - 1, 0)], 0)
+    base_r = np.where(starts > 0, cum_right[np.maximum(starts - 1, 0)], 0)
+    last = np.maximum(ends - 1, 0)
+    left_counts = np.where(lens > 0, cum_left[last] - base_l, 0)
+    right_counts = np.where(lens > 0, cum_right[last] - base_r, 0)
+    scratch = ws.buf(f"{name}/scratch", n, IDX_DTYPE)
+    np.subtract(cum_left, np.take(base_l, sid, out=scratch), out=cum_left)
+    np.subtract(cum_right, np.take(base_r, sid, out=scratch), out=cum_right)
+    # cum_* are now the *inclusive* within-segment ranks (rank + 1)
+
+    # -- new segmentation (S-sized, cheap) -----------------------------------
+    sizes = np.zeros(n_new_segments, dtype=IDX_DTYPE)
+    lv = left_seg >= 0
+    rv = right_seg >= 0
+    np.add.at(sizes, left_seg[lv], left_counts[lv])
+    np.add.at(sizes, right_seg[rv], right_counts[rv])
+    new_offsets = np.concatenate(([0], np.cumsum(sizes)))
+
+    # -- destinations: segment base + rank, no boolean compression -----------
+    # segment base minus 1 folds the inclusive-rank -> rank correction in
+    seg_base_l = np.where(lv, new_offsets[np.maximum(left_seg, 0)], 0) - 1
+    seg_base_r = np.where(rv, new_offsets[np.maximum(right_seg, 0)], 0) - 1
+    # candidate destination if the element went left / right
+    np.add(cum_left, np.take(seg_base_l, sid, out=scratch), out=cum_left)
+    np.add(cum_right, np.take(seg_base_r, sid, out=scratch), out=cum_right)
+    np.logical_and(is_left, np.take(lv, sid, out=ws.buf(f"{name}/vmask", n, bool)), out=is_left)
+    np.logical_and(is_right, np.take(rv, sid, out=ws.buf(f"{name}/vmask", n, bool)), out=is_right)
+    fill = new_offsets[-1] if drop_to_trash else -1
+    dest = ws.full(f"{name}/dest", n, IDX_DTYPE, fill)
+    np.copyto(dest, cum_left, where=is_left)
+    np.copyto(dest, cum_right, where=is_right)
+
+    _charge_partition(device, n, plan, bytes_per_element, name)
     return dest, new_offsets

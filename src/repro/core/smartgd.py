@@ -32,6 +32,7 @@ from ..gpusim.kernel import GpuDevice
 from ..losses import Loss
 from ..obs import get_registry, span
 from .tree import DecisionTree
+from .workspace import WorkspaceArena
 
 __all__ = ["GradientComputer"]
 
@@ -54,6 +55,11 @@ class GradientComputer:
         full-scale units (``scale=False`` launches).
     X:
         Training matrix; only required for the traversal strategy.
+    workspace:
+        Optional :class:`~repro.core.workspace.WorkspaceArena`; when enabled
+        the per-round ``(g, h)`` arrays are reused arena views (filled via
+        :meth:`repro.losses.Loss.gradients_into` when the loss supports it),
+        bit-identical to the allocating path.
     """
 
     def __init__(
@@ -65,12 +71,14 @@ class GradientComputer:
         use_smartgd: bool = True,
         row_scale: float = 1.0,
         X: CSRMatrix | None = None,
+        workspace: WorkspaceArena | None = None,
     ) -> None:
         self.device = device
         self.loss = loss
         self.y = np.asarray(y, dtype=np.float64)
         self.use_smartgd = use_smartgd
         self.row_scale = float(row_scale)
+        self.workspace = workspace
         self._X = X
         self._dense_nan: np.ndarray | None = None
         self.yhat = np.full(self.y.size, loss.base_score(self.y), dtype=np.float64)
@@ -215,8 +223,17 @@ class GradientComputer:
     def compute(self) -> Tuple[np.ndarray, np.ndarray]:
         """``(g, h)`` for the next boosting round (Eq. (1))."""
         self._flush_traversals()
+        ws = self.workspace
         with span("loss_gradients", strategy="smartgd" if self.use_smartgd else "traversal"):
-            g, h = self.loss.gradients(self.y, self.yhat)
+            if ws is not None and ws.enabled:
+                g = ws.buf("grad/g", self.n, np.float64)
+                h = ws.buf("grad/h", self.n, np.float64)
+                if not self.loss.gradients_into(self.y, self.yhat, g, h):
+                    g_new, h_new = self.loss.gradients(self.y, self.yhat)
+                    np.copyto(g, g_new)
+                    np.copyto(h, h_new)
+            else:
+                g, h = self.loss.gradients(self.y, self.yhat)
         rows = self._full_rows()
         self.device.launch(
             "compute_gradients",

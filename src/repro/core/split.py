@@ -55,6 +55,7 @@ from ..gpusim.primitives import (
     segmented_sum,
 )
 from .setkey import plan_segment_grid
+from .workspace import IDX_DTYPE, WorkspaceArena
 
 __all__ = ["SegmentLayout", "NodeBestSplits", "eq2_gain", "find_best_splits_sparse", "find_best_splits_rle"]
 
@@ -75,6 +76,11 @@ class SegmentLayout:
         self.offsets = np.asarray(self.offsets, dtype=np.int64)
         if self.offsets.size != self.n_nodes * self.n_attrs + 1:
             raise ValueError("offsets must have n_nodes * n_attrs + 1 entries")
+        # descriptor cache: seg_node/seg_attr/node_offsets are pure functions
+        # of (n_nodes, n_attrs) and get asked for several times per level
+        # (split finding, selection, and the trainer's routing step), so they
+        # are materialized at most once per layout instance
+        self._descriptors: dict = {}
 
     @property
     def n_segments(self) -> int:
@@ -84,17 +90,34 @@ class SegmentLayout:
     def n_elements(self) -> int:
         return int(self.offsets[-1])
 
+    def _cached(self, key: str, build) -> np.ndarray:
+        arr = self._descriptors.get(key)
+        if arr is None:
+            arr = build()
+            arr.setflags(write=False)  # shared across callers
+            self._descriptors[key] = arr
+        return arr
+
     def seg_node(self) -> np.ndarray:
-        """Segment -> local node index."""
-        return np.repeat(np.arange(self.n_nodes, dtype=np.int64), self.n_attrs)
+        """Segment -> local node index (cached, read-only)."""
+        return self._cached(
+            "seg_node",
+            lambda: np.repeat(np.arange(self.n_nodes, dtype=np.int64), self.n_attrs),
+        )
 
     def seg_attr(self) -> np.ndarray:
-        """Segment -> attribute index."""
-        return np.tile(np.arange(self.n_attrs, dtype=np.int64), self.n_nodes)
+        """Segment -> attribute index (cached, read-only)."""
+        return self._cached(
+            "seg_attr",
+            lambda: np.tile(np.arange(self.n_attrs, dtype=np.int64), self.n_nodes),
+        )
 
     def node_offsets(self) -> np.ndarray:
         """Segmentation of the *segment* axis by node (for the node reduce)."""
-        return np.arange(0, self.n_segments + 1, self.n_attrs, dtype=np.int64)
+        return self._cached(
+            "node_offsets",
+            lambda: np.arange(0, self.n_segments + 1, self.n_attrs, dtype=np.int64),
+        )
 
 
 @dataclasses.dataclass
@@ -125,31 +148,78 @@ class NodeBestSplits:
 
 
 def eq2_gain(
-    gl: np.ndarray, hl: np.ndarray, g: np.ndarray, h: np.ndarray, lambda_: float
+    gl: np.ndarray,
+    hl: np.ndarray,
+    g: np.ndarray,
+    h: np.ndarray,
+    lambda_: float,
+    *,
+    out: np.ndarray | None = None,
+    scratch: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> np.ndarray:
     """The split gain of Eq. (2) (with the standard ``+ lambda`` in the
-    parent term -- the paper's ``-`` is a typo against its reference [3])."""
+    parent term -- the paper's ``-`` is a typo against its reference [3]).
+
+    With ``out`` and two same-shaped float64 ``scratch`` buffers the gain is
+    computed allocation-free in **exactly the same elementary-operation
+    order** as the expression below, so the result is bit-identical.
+    """
     gl = np.asarray(gl, dtype=np.float64)
     hl = np.asarray(hl, dtype=np.float64)
     g = np.asarray(g, dtype=np.float64)
     h = np.asarray(h, dtype=np.float64)
-    gr = g - gl
-    hr = h - hl
+    if out is None or scratch is None:
+        gr = g - gl
+        hr = h - hl
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = 0.5 * (gl * gl / (hl + lambda_) + gr * gr / (hr + lambda_) - g * g / (h + lambda_))
+        return np.where(np.isfinite(out), out, -np.inf)
+    s1, s2 = scratch
     with np.errstate(divide="ignore", invalid="ignore"):
-        out = 0.5 * (gl * gl / (hl + lambda_) + gr * gr / (hr + lambda_) - g * g / (h + lambda_))
-    return np.where(np.isfinite(out), out, -np.inf)
+        np.subtract(h, hl, out=s1)       # hr
+        np.add(s1, lambda_, out=s1)      # hr + lambda
+        np.subtract(g, gl, out=s2)       # gr
+        np.multiply(s2, s2, out=s2)      # gr^2
+        np.divide(s2, s1, out=s2)        # gr^2 / (hr + lambda)
+        np.multiply(gl, gl, out=out)     # gl^2
+        np.add(hl, lambda_, out=s1)      # hl + lambda
+        np.divide(out, s1, out=out)      # gl^2 / (hl + lambda)
+        np.add(out, s2, out=out)         # left + right child terms
+        np.multiply(g, g, out=s1)        # g^2
+        np.add(h, lambda_, out=s2)       # h + lambda
+        np.divide(s1, s2, out=s1)        # parent term
+        np.subtract(out, s1, out=out)
+        np.multiply(out, 0.5, out=out)
+    mask = np.isfinite(out)
+    np.logical_not(mask, out=mask)
+    np.copyto(out, -np.inf, where=mask)
+    return out
 
 
-def quantize_gain(gain: np.ndarray) -> np.ndarray:
+def quantize_gain(
+    gain: np.ndarray,
+    *,
+    out: np.ndarray | None = None,
+    f32: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
+) -> np.ndarray:
     """Collapse sub-float32 noise before gain comparisons (module docstring).
 
     Magnitudes below 1e-10 are flushed to exactly 0 so an algebraically-zero
     gain (whose summation noise may land on either side of 0) compares
     against the ``> gamma`` split threshold identically in every
-    implementation.
+    implementation.  ``out``/``scratch`` (float64) and ``f32`` (a float32
+    staging buffer) make the round-trip allocation-free; the flush
+    comparison stays in float64 so results are bit-identical.
     """
-    out = np.asarray(gain, dtype=np.float32).astype(np.float64)
-    return np.where(np.abs(out) < 1e-10, 0.0, out)
+    if out is None or f32 is None or scratch is None:
+        q = np.asarray(gain, dtype=np.float32).astype(np.float64)
+        return np.where(np.abs(q) < 1e-10, 0.0, q)
+    f32[...] = gain          # float64 -> float32 rounding
+    out[...] = f32           # widen back: exactly representable
+    np.abs(out, out=scratch)
+    np.copyto(out, 0.0, where=scratch < 1e-10)
+    return out
 
 
 def _last_valid(cum: np.ndarray, offsets: np.ndarray) -> np.ndarray:
@@ -291,17 +361,38 @@ def find_best_splits_sparse(
     lambda_: float,
     setkey_enabled: bool = True,
     setkey_c: int = 1000,
+    workspace: WorkspaceArena | None = None,
+    sid: np.ndarray | None = None,
 ) -> NodeBestSplits:
-    """Split finding on uncompressed sorted attribute lists (Section III-B)."""
+    """Split finding on uncompressed sorted attribute lists (Section III-B).
+
+    ``workspace`` routes every per-entry temporary through arena views; the
+    arena branch repeats the legacy branch's elementary operations in the
+    same order, so candidate gains (and hence the chosen splits) are
+    bit-identical.  ``sid`` optionally supplies the element -> segment map
+    (the trainer shares one per level with the partition step).
+    """
+    ws = workspace if workspace is not None and workspace.enabled else None
     n = values.size
     offsets = check_offsets(layout.offsets, n)
     with device.phase(device.current_phase):
-        g_ent = gather(device, g, inst, name="gather_gradients")
-        h_ent = gather(device, h, inst, name="gather_hessians")
-        cg = segmented_inclusive_cumsum(device, g_ent, offsets, name="seg_prefix_sum_g")
-        ch = segmented_inclusive_cumsum(device, h_ent, offsets, name="seg_prefix_sum_h")
+        if ws is None:
+            g_ent = gather(device, g, inst, name="gather_gradients")
+            h_ent = gather(device, h, inst, name="gather_hessians")
+            cg = segmented_inclusive_cumsum(device, g_ent, offsets, name="seg_prefix_sum_g")
+            ch = segmented_inclusive_cumsum(device, h_ent, offsets, name="seg_prefix_sum_h")
+        else:
+            g_ent = gather(device, g, inst, name="gather_gradients",
+                           out=ws.buf("split/g_ent", n, np.float64))
+            h_ent = gather(device, h, inst, name="gather_hessians",
+                           out=ws.buf("split/h_ent", n, np.float64))
+            cg = segmented_inclusive_cumsum(device, g_ent, offsets, name="seg_prefix_sum_g",
+                                            out=ws.buf("split/cg", n, np.float64))
+            ch = segmented_inclusive_cumsum(device, h_ent, offsets, name="seg_prefix_sum_h",
+                                            out=ws.buf("split/ch", n, np.float64))
 
-    sid = seg_ids(offsets, n)
+    if sid is None:
+        sid = ws.seg_ids("split/sid", offsets, n) if ws is not None else seg_ids(offsets, n)
     seg_node = layout.seg_node()
     lens = np.diff(offsets)
 
@@ -311,35 +402,94 @@ def find_best_splits_sparse(
     miss_h = node_h[seg_node] - seg_h
     miss_n = node_n[seg_node] - lens
 
-    # exclusive prefix at each entry = "everything strictly above this value"
-    gl = cg - g_ent
-    hl = ch - h_ent
+    if ws is None:
+        # exclusive prefix at each entry = "everything strictly above this value"
+        gl = cg - g_ent
+        hl = ch - h_ent
 
-    pos = np.arange(n, dtype=np.int64) - offsets[:-1][sid]
-    valid = pos > 0
-    if n > 1:
-        same_as_prev = np.empty(n, dtype=bool)
-        same_as_prev[0] = False
-        same_as_prev[1:] = values[1:] == values[:-1]
-        # "reset gain of repeated split points": only the first occurrence
-        # of each value group is a real candidate
-        valid &= ~same_as_prev
+        pos = np.arange(n, dtype=np.int64) - offsets[:-1][sid]
+        valid = pos > 0
+        if n > 1:
+            same_as_prev = np.empty(n, dtype=bool)
+            same_as_prev[0] = False
+            same_as_prev[1:] = values[1:] == values[:-1]
+            # "reset gain of repeated split points": only the first occurrence
+            # of each value group is a real candidate
+            valid &= ~same_as_prev
 
-    node_of_ent = seg_node[sid]
-    g_tot = node_g[node_of_ent]
-    h_tot = node_h[node_of_ent]
-    gain_mr = quantize_gain(eq2_gain(gl, hl, g_tot, h_tot, lambda_))
-    gain_ml = quantize_gain(
-        eq2_gain(gl + miss_g[sid], hl + miss_h[sid], g_tot, h_tot, lambda_)
-    )
-    cand_dir = gain_ml >= gain_mr
-    cand_gain = np.where(valid, np.maximum(gain_ml, gain_mr), -np.inf)
+        node_of_ent = seg_node[sid]
+        g_tot = node_g[node_of_ent]
+        h_tot = node_h[node_of_ent]
+        gain_mr = quantize_gain(eq2_gain(gl, hl, g_tot, h_tot, lambda_))
+        gain_ml = quantize_gain(
+            eq2_gain(gl + miss_g[sid], hl + miss_h[sid], g_tot, h_tot, lambda_)
+        )
+        cand_dir = gain_ml >= gain_mr
+        cand_gain = np.where(valid, np.maximum(gain_ml, gain_mr), -np.inf)
 
-    prev = np.empty(n, dtype=np.float64)
-    if n:
-        prev[0] = values[0]
-        prev[1:] = values[:-1]
-    cand_thr = (prev + values) / 2.0
+        prev = np.empty(n, dtype=np.float64)
+        if n:
+            prev[0] = values[0]
+            prev[1:] = values[:-1]
+        cand_thr = (prev + values) / 2.0
+        cand_elem_pos = np.arange(n, dtype=np.int64)
+    else:
+        # the cumsum buffers become the exclusive prefixes in place (the
+        # inclusive scans are not read again)
+        gl = cg
+        np.subtract(cg, g_ent, out=gl)
+        hl = ch
+        np.subtract(ch, h_ent, out=hl)
+
+        pos = ws.buf("split/pos", n, IDX_DTYPE)
+        np.take(offsets, sid, out=pos)  # == offsets[:-1][sid]: sid < S
+        np.subtract(ws.arange(n), pos, out=pos)
+        valid = ws.buf("split/valid", n, bool)
+        np.greater(pos, 0, out=valid)
+        if n > 1:
+            same_as_prev = ws.buf("split/sap", n, bool)
+            same_as_prev[0] = False
+            np.equal(values[1:], values[:-1], out=same_as_prev[1:])
+            np.logical_not(same_as_prev, out=same_as_prev)
+            np.logical_and(valid, same_as_prev, out=valid)
+
+        node_of_ent = ws.buf("split/noe", n, IDX_DTYPE)
+        np.take(seg_node, sid, out=node_of_ent)
+        g_tot = ws.buf("split/g_tot", n, np.float64)
+        h_tot = ws.buf("split/h_tot", n, np.float64)
+        np.take(node_g, node_of_ent, out=g_tot)
+        np.take(node_h, node_of_ent, out=h_tot)
+
+        s1 = ws.buf("split/s1", n, np.float64)
+        s2 = ws.buf("split/s2", n, np.float64)
+        f32 = ws.buf("split/f32", n, np.float32)
+        gain_mr = ws.buf("split/gmr", n, np.float64)
+        eq2_gain(gl, hl, g_tot, h_tot, lambda_, out=gain_mr, scratch=(s1, s2))
+        quantize_gain(gain_mr, out=gain_mr, f32=f32, scratch=s1)
+        glm = ws.buf("split/glm", n, np.float64)
+        hlm = ws.buf("split/hlm", n, np.float64)
+        np.take(miss_g, sid, out=glm)
+        np.add(gl, glm, out=glm)
+        np.take(miss_h, sid, out=hlm)
+        np.add(hl, hlm, out=hlm)
+        gain_ml = ws.buf("split/gml", n, np.float64)
+        eq2_gain(glm, hlm, g_tot, h_tot, lambda_, out=gain_ml, scratch=(s1, s2))
+        quantize_gain(gain_ml, out=gain_ml, f32=f32, scratch=s1)
+        cand_dir = ws.buf("split/dir", n, bool)
+        np.greater_equal(gain_ml, gain_mr, out=cand_dir)
+        cand_gain = ws.buf("split/cgain", n, np.float64)
+        np.maximum(gain_ml, gain_mr, out=cand_gain)
+        np.logical_not(valid, out=valid)
+        np.copyto(cand_gain, -np.inf, where=valid)
+
+        cand_thr = ws.buf("split/thr", n, np.float64)
+        if n:
+            prev = ws.buf("split/prev", n, np.float64)
+            prev[0] = values[0]
+            prev[1:] = values[:-1]
+            np.add(prev, values, out=cand_thr)
+            np.divide(cand_thr, 2.0, out=cand_thr)
+        cand_elem_pos = ws.arange(n)
 
     device.launch(
         "compute_split_gains",
@@ -356,7 +506,7 @@ def find_best_splits_sparse(
         device,
         cand_gain=cand_gain,
         cand_dir=cand_dir,
-        cand_elem_pos=np.arange(n, dtype=np.int64),
+        cand_elem_pos=cand_elem_pos,
         cand_thr=cand_thr,
         cand_gl=gl,
         cand_hl=hl,
@@ -392,6 +542,7 @@ def find_best_splits_rle(
     lambda_: float,
     setkey_enabled: bool = True,
     setkey_c: int = 1000,
+    workspace: WorkspaceArena | None = None,
 ) -> NodeBestSplits:
     """Split finding on RLE-compressed values (Section III-C, Fig. 5).
 
@@ -399,23 +550,51 @@ def find_best_splits_rle(
     one candidate, so no duplicate suppression is needed and the reductions
     shrink from ``nnz`` to ``n_runs`` items.  Functionally equivalent to the
     sparse path (a run's first element is the group's first occurrence).
+
+    ``workspace`` enables the arena branch -- same elementary operations in
+    the same order as the legacy branch, so the chosen splits are
+    bit-identical.  (The run -> segment map is over ``rle.run_offsets``, not
+    the element segmentation, so it is always derived here.)
     """
+    ws = workspace if workspace is not None and workspace.enabled else None
     n = inst.size
     offsets = check_offsets(layout.offsets, n)
     if rle.n_elements != n:
         raise ValueError("RLE element count must match the instance array")
     n_runs = rle.n_runs
     run_starts = rle.run_starts()
-    run_elem_offsets = np.concatenate((run_starts, [n])).astype(np.int64)
+    if ws is None:
+        run_elem_offsets = np.concatenate((run_starts, [n])).astype(np.int64)
+    else:
+        run_elem_offsets = ws.buf("split/reo", n_runs + 1, IDX_DTYPE)
+        run_elem_offsets[:n_runs] = run_starts
+        run_elem_offsets[n_runs] = n
 
     with device.phase(device.current_phase):
-        g_ent = gather(device, g, inst, name="gather_gradients")
-        h_ent = gather(device, h, inst, name="gather_hessians")
-        # Fig. 5: aggregate gradients of instances sharing an attribute value
-        g_run = segmented_sum(device, g_ent, run_elem_offsets, name="rle_aggregate_g")
-        h_run = segmented_sum(device, h_ent, run_elem_offsets, name="rle_aggregate_h")
-        cgr = segmented_inclusive_cumsum(device, g_run, rle.run_offsets, name="seg_prefix_sum_g_rle")
-        chr_ = segmented_inclusive_cumsum(device, h_run, rle.run_offsets, name="seg_prefix_sum_h_rle")
+        if ws is None:
+            g_ent = gather(device, g, inst, name="gather_gradients")
+            h_ent = gather(device, h, inst, name="gather_hessians")
+            # Fig. 5: aggregate gradients of instances sharing an attribute value
+            g_run = segmented_sum(device, g_ent, run_elem_offsets, name="rle_aggregate_g")
+            h_run = segmented_sum(device, h_ent, run_elem_offsets, name="rle_aggregate_h")
+            cgr = segmented_inclusive_cumsum(device, g_run, rle.run_offsets, name="seg_prefix_sum_g_rle")
+            chr_ = segmented_inclusive_cumsum(device, h_run, rle.run_offsets, name="seg_prefix_sum_h_rle")
+        else:
+            g_ent = gather(device, g, inst, name="gather_gradients",
+                           out=ws.buf("split/g_ent", n, np.float64))
+            h_ent = gather(device, h, inst, name="gather_hessians",
+                           out=ws.buf("split/h_ent", n, np.float64))
+            sum_scratch = ws.buf("split/scan", n + 1, np.float64)
+            g_run = segmented_sum(device, g_ent, run_elem_offsets,
+                                  name="rle_aggregate_g", scratch=sum_scratch)
+            h_run = segmented_sum(device, h_ent, run_elem_offsets,
+                                  name="rle_aggregate_h", scratch=sum_scratch)
+            cgr = segmented_inclusive_cumsum(device, g_run, rle.run_offsets,
+                                             name="seg_prefix_sum_g_rle",
+                                             out=ws.buf("split/cg", n_runs, np.float64))
+            chr_ = segmented_inclusive_cumsum(device, h_run, rle.run_offsets,
+                                              name="seg_prefix_sum_h_rle",
+                                              out=ws.buf("split/ch", n_runs, np.float64))
 
     seg_node = layout.seg_node()
     lens = np.diff(offsets)
@@ -426,31 +605,86 @@ def find_best_splits_rle(
     miss_h = node_h[seg_node] - seg_h
     miss_n = node_n[seg_node] - lens
 
-    gl = cgr - g_run
-    hl = chr_ - h_run
+    if ws is None:
+        gl = cgr - g_run
+        hl = chr_ - h_run
 
-    rid_seg = seg_ids(rle.run_offsets, n_runs)  # run -> segment
-    run_pos = np.arange(n_runs, dtype=np.int64) - rle.run_offsets[:-1][rid_seg]
-    valid = run_pos > 0
+        rid_seg = seg_ids(rle.run_offsets, n_runs)  # run -> segment
+        run_pos = np.arange(n_runs, dtype=np.int64) - rle.run_offsets[:-1][rid_seg]
+        valid = run_pos > 0
 
-    node_of_run = seg_node[rid_seg]
-    g_tot = node_g[node_of_run]
-    h_tot = node_h[node_of_run]
-    gain_mr = quantize_gain(eq2_gain(gl, hl, g_tot, h_tot, lambda_))
-    gain_ml = quantize_gain(
-        eq2_gain(gl + miss_g[rid_seg], hl + miss_h[rid_seg], g_tot, h_tot, lambda_)
-    )
-    cand_dir = gain_ml >= gain_mr
-    cand_gain = np.where(valid, np.maximum(gain_ml, gain_mr), -np.inf)
+        node_of_run = seg_node[rid_seg]
+        g_tot = node_g[node_of_run]
+        h_tot = node_h[node_of_run]
+        gain_mr = quantize_gain(eq2_gain(gl, hl, g_tot, h_tot, lambda_))
+        gain_ml = quantize_gain(
+            eq2_gain(gl + miss_g[rid_seg], hl + miss_h[rid_seg], g_tot, h_tot, lambda_)
+        )
+        cand_dir = gain_ml >= gain_mr
+        cand_gain = np.where(valid, np.maximum(gain_ml, gain_mr), -np.inf)
 
-    prev = np.empty(n_runs, dtype=np.float64)
-    if n_runs:
-        prev[0] = rle.run_values[0]
-        prev[1:] = rle.run_values[:-1]
-    cand_thr = (prev + rle.run_values) / 2.0
+        prev = np.empty(n_runs, dtype=np.float64)
+        if n_runs:
+            prev[0] = rle.run_values[0]
+            prev[1:] = rle.run_values[:-1]
+        cand_thr = (prev + rle.run_values) / 2.0
 
-    # element count strictly above each run = its run start within the segment
-    cand_nl = run_starts - offsets[:-1][rid_seg] if n_runs else np.empty(0, np.int64)
+        # element count strictly above each run = its run start within the segment
+        cand_nl = run_starts - offsets[:-1][rid_seg] if n_runs else np.empty(0, np.int64)
+    else:
+        gl = cgr
+        np.subtract(cgr, g_run, out=gl)
+        hl = chr_
+        np.subtract(chr_, h_run, out=hl)
+
+        rid_seg = ws.seg_ids("split/sid", rle.run_offsets, n_runs)  # run -> segment
+        run_pos = ws.buf("split/pos", n_runs, IDX_DTYPE)
+        np.take(rle.run_offsets, rid_seg, out=run_pos)  # == run_offsets[:-1][rid_seg]
+        np.subtract(ws.arange(n_runs), run_pos, out=run_pos)
+        valid = ws.buf("split/valid", n_runs, bool)
+        np.greater(run_pos, 0, out=valid)
+
+        node_of_run = ws.buf("split/noe", n_runs, IDX_DTYPE)
+        np.take(seg_node, rid_seg, out=node_of_run)
+        g_tot = ws.buf("split/g_tot", n_runs, np.float64)
+        h_tot = ws.buf("split/h_tot", n_runs, np.float64)
+        np.take(node_g, node_of_run, out=g_tot)
+        np.take(node_h, node_of_run, out=h_tot)
+
+        s1 = ws.buf("split/s1", n_runs, np.float64)
+        s2 = ws.buf("split/s2", n_runs, np.float64)
+        f32 = ws.buf("split/f32", n_runs, np.float32)
+        gain_mr = ws.buf("split/gmr", n_runs, np.float64)
+        eq2_gain(gl, hl, g_tot, h_tot, lambda_, out=gain_mr, scratch=(s1, s2))
+        quantize_gain(gain_mr, out=gain_mr, f32=f32, scratch=s1)
+        glm = ws.buf("split/glm", n_runs, np.float64)
+        hlm = ws.buf("split/hlm", n_runs, np.float64)
+        np.take(miss_g, rid_seg, out=glm)
+        np.add(gl, glm, out=glm)
+        np.take(miss_h, rid_seg, out=hlm)
+        np.add(hl, hlm, out=hlm)
+        gain_ml = ws.buf("split/gml", n_runs, np.float64)
+        eq2_gain(glm, hlm, g_tot, h_tot, lambda_, out=gain_ml, scratch=(s1, s2))
+        quantize_gain(gain_ml, out=gain_ml, f32=f32, scratch=s1)
+        cand_dir = ws.buf("split/dir", n_runs, bool)
+        np.greater_equal(gain_ml, gain_mr, out=cand_dir)
+        cand_gain = ws.buf("split/cgain", n_runs, np.float64)
+        np.maximum(gain_ml, gain_mr, out=cand_gain)
+        np.logical_not(valid, out=valid)
+        np.copyto(cand_gain, -np.inf, where=valid)
+
+        cand_thr = ws.buf("split/thr", n_runs, np.float64)
+        if n_runs:
+            prev = ws.buf("split/prev", n_runs, np.float64)
+            prev[0] = rle.run_values[0]
+            prev[1:] = rle.run_values[:-1]
+            np.add(prev, rle.run_values, out=cand_thr)
+            np.divide(cand_thr, 2.0, out=cand_thr)
+
+        # element count strictly above each run = its run start within the segment
+        cand_nl = ws.buf("split/nl", n_runs, IDX_DTYPE)
+        np.take(offsets, rid_seg, out=cand_nl)  # == offsets[:-1][rid_seg]
+        np.subtract(run_starts, cand_nl, out=cand_nl)
 
     device.launch(
         "compute_split_gains_rle",

@@ -42,6 +42,7 @@ from .sampling import TreeSample, sample_tree
 from .smartgd import GradientComputer
 from .split import SegmentLayout, find_best_splits_rle, find_best_splits_sparse
 from .tree import DecisionTree
+from .workspace import IDX_DTYPE, WorkspaceArena, arena_enabled_default
 
 __all__ = ["GPUGBDTTrainer", "TrainReport"]
 
@@ -85,6 +86,14 @@ class GPUGBDTTrainer:
         XGBoost baseline allocates it (n x d cells + node-interleaved
         gradient copies) instead of GPU-GBDT's sparse/RLE layout.  Used by
         :mod:`repro.cpu.gpu_xgboost`.
+    use_arena:
+        Route the hot-path temporaries through a persistent
+        :class:`~repro.core.workspace.WorkspaceArena` (default: the
+        ``REPRO_ARENA`` environment switch, on unless set to ``0``).
+        Trees, serialized models, and the device ledger are byte-identical
+        either way -- the switch lives on the trainer (not
+        :class:`~repro.core.params.GBDTParams`) precisely so it can never
+        leak into a serialized model.
     """
 
     def __init__(
@@ -94,11 +103,16 @@ class GPUGBDTTrainer:
         *,
         row_scale: float = 1.0,
         dense_memory_model: bool = False,
+        use_arena: bool | None = None,
     ) -> None:
         self.params = params if params is not None else GBDTParams()
         self.device = device if device is not None else GpuDevice()
         self.row_scale = float(row_scale)
         self.dense_memory_model = dense_memory_model
+        self.use_arena = arena_enabled_default() if use_arena is None else bool(use_arena)
+        #: persistent across fit calls: buffers warm up on the first tree and
+        #: are reused for every level of every round thereafter
+        self.workspace = WorkspaceArena(enabled=self.use_arena)
         self.report: TrainReport | None = None
 
     # ----------------------------------------------------------------- setup
@@ -231,6 +245,7 @@ class GPUGBDTTrainer:
             use_smartgd=p.use_smartgd,
             row_scale=self.row_scale,
             X=X,
+            workspace=self.workspace,
         )
         if init_trees:
             with device.phase("gradients"):
@@ -274,6 +289,7 @@ class GPUGBDTTrainer:
         registry.gauge(
             "train_compression_ratio", "RLE compression ratio of the last run"
         ).set(base_rle.compression_ratio if base_rle is not None else 1.0)
+        self.workspace.publish_metrics()
 
         self.report = TrainReport(
             used_rle=used_rle,
@@ -301,6 +317,7 @@ class GPUGBDTTrainer:
     ) -> DecisionTree:
         p = self.params
         device = self.device
+        ws = self.workspace
         n, d = X.shape
         if sample is None:
             sample = sample_tree(p.seed, 0, n, d, 1.0, 1.0)
@@ -369,16 +386,21 @@ class GPUGBDTTrainer:
             n_active = node_tree_ids.size
             if n_active == 0:
                 break
+            # one element -> segment map per level, shared by split finding,
+            # instance routing, and the partition scatter
+            sid = ws.seg_ids("tree/sid", layout.offsets, layout.n_elements) if ws.enabled else None
             with device.phase("find_split"), span("find_split", depth=_depth, nodes=n_active):
                 if used_rle:
                     best = find_best_splits_rle(
                         device, rle_state, inst_arr, layout, g, h, node_g, node_h, node_n,
                         lambda_=p.lambda_, setkey_enabled=p.use_custom_setkey, setkey_c=p.setkey_c,
+                        workspace=ws,
                     )
                 else:
                     best = find_best_splits_sparse(
                         device, vals, inst_arr, layout, g, h, node_g, node_h, node_n,
                         lambda_=p.lambda_, setkey_enabled=p.use_custom_setkey, setkey_c=p.setkey_c,
+                        workspace=ws, sid=sid,
                     )
 
             split_mask = best.found & (best.gain > p.gamma)
@@ -416,21 +438,44 @@ class GPUGBDTTrainer:
                 new_local_of = np.full(n_active, -1, dtype=np.int64)
                 new_local_of[split_locals] = 2 * np.arange(k, dtype=np.int64)
 
-                side_inst = np.full(n, -1, dtype=np.int8)
-                local_safe = np.maximum(inst2local, 0)
-                active = (inst2local >= 0) & split_mask[local_safe]
                 default_side = np.where(best.default_left, 0, 1).astype(np.int8)
-                side_inst[active] = default_side[inst2local[active]]
+                if ws.enabled:
+                    side_inst = ws.full("tree/side_inst", n, np.int8, -1)
+                    local_safe = ws.buf("tree/local_safe", n, IDX_DTYPE)
+                    np.maximum(inst2local, 0, out=local_safe)
+                    active = ws.buf("tree/active", n, bool)
+                    np.greater_equal(inst2local, 0, out=active)
+                    amask = ws.buf("tree/amask", n, bool)
+                    np.take(split_mask, local_safe, out=amask)
+                    np.logical_and(active, amask, out=active)
+                    side_tmp = ws.buf("tree/side_tmp", n, np.int8)
+                    np.take(default_side, local_safe, out=side_tmp)
+                    np.copyto(side_inst, side_tmp, where=active)
+                else:
+                    side_inst = np.full(n, -1, dtype=np.int8)
+                    local_safe = np.maximum(inst2local, 0)
+                    active = (inst2local >= 0) & split_mask[local_safe]
+                    side_inst[active] = default_side[inst2local[active]]
 
                 # present entries of the chosen segments override the default
                 S = layout.n_segments
+                n_el = layout.n_elements
                 split_pos = np.full(S, -1, dtype=np.int64)
                 split_pos[best.seg[split_locals]] = best.elem_pos[split_locals]
-                sid = np.repeat(np.arange(S, dtype=np.int64), np.diff(layout.offsets))
-                chosen = split_pos[sid] >= 0
-                elem_idx = np.arange(layout.n_elements, dtype=np.int64)
-                elem_side = (elem_idx < split_pos[sid]).astype(np.int8)
-                side_inst[inst_arr[chosen]] = np.where(elem_side[chosen] == 1, 0, 1)
+                if ws.enabled:
+                    pos_ent = ws.buf("tree/pos_ent", n_el, IDX_DTYPE)
+                    np.take(split_pos, sid, out=pos_ent)
+                    chosen = ws.buf("tree/chosen", n_el, bool)
+                    np.greater_equal(pos_ent, 0, out=chosen)
+                    elem_left = ws.buf("tree/elem_left", n_el, bool)
+                    np.less(ws.arange(n_el), pos_ent, out=elem_left)
+                    side_inst[inst_arr[chosen]] = np.where(elem_left[chosen], 0, 1)
+                else:
+                    sid = np.repeat(np.arange(S, dtype=np.int64), np.diff(layout.offsets))
+                    chosen = split_pos[sid] >= 0
+                    elem_idx = np.arange(n_el, dtype=np.int64)
+                    elem_side = (elem_idx < split_pos[sid]).astype(np.int8)
+                    side_inst[inst_arr[chosen]] = np.where(elem_side[chosen] == 1, 0, 1)
                 device.launch(
                     "update_instance_to_node",
                     elements=n * self.row_scale,
@@ -442,7 +487,16 @@ class GPUGBDTTrainer:
                     scale=False,
                 )
 
-                inst2local = np.where(active, new_local_of[local_safe] + side_inst, -1)
+                if ws.enabled:
+                    # ping-pong: read the previous level's map, write this one's
+                    i2l_next = ws.buf(f"tree/i2l/{_depth % 2}", n, IDX_DTYPE)
+                    np.take(new_local_of, local_safe, out=i2l_next)
+                    np.add(i2l_next, side_inst, out=i2l_next)
+                    np.logical_not(active, out=active)
+                    np.copyto(i2l_next, -1, where=active)
+                    inst2local = i2l_next
+                else:
+                    inst2local = np.where(active, new_local_of[local_safe] + side_inst, -1)
 
                 # ---- partition the attribute lists -------------------------
                 d_used = layout.n_attrs
@@ -453,7 +507,11 @@ class GPUGBDTTrainer:
                 left_seg = np.where(splitting_seg, child_base * d_used + seg_attr, -1)
                 right_seg = np.where(splitting_seg, (child_base + 1) * d_used + seg_attr, -1)
 
-                side_ent = side_inst[inst_arr]
+                if ws.enabled:
+                    side_ent = ws.buf("tree/side_ent", n_el, np.int8)
+                    np.take(side_inst, inst_arr, out=side_ent)
+                else:
+                    side_ent = side_inst[inst_arr]
                 plan = plan_partition(
                     int(layout.n_elements * device.work_scale),
                     k,
@@ -461,6 +519,9 @@ class GPUGBDTTrainer:
                     use_custom_workload=p.use_custom_workload,
                     fixed_thread_workload=p.fixed_thread_workload,
                 )
+                # the decompression strategy consumes -1-coded drops, so the
+                # trash-slot scatter is reserved for the other code paths
+                use_trash = ws.enabled and (not used_rle or p.use_direct_rle)
                 dest, new_offsets = partition_segments(
                     device,
                     layout.offsets,
@@ -470,24 +531,50 @@ class GPUGBDTTrainer:
                     2 * k * d_used,
                     plan,
                     bytes_per_element=8 if used_rle else 16,
+                    workspace=ws,
+                    sid=sid,
+                    drop_to_trash=use_trash,
                 )
-                keep = dest >= 0
                 n_new = int(new_offsets[-1])
-                new_inst = np.empty(n_new, dtype=np.int64)
-                new_inst[dest[keep]] = inst_arr[keep]
-                if used_rle:
-                    if p.use_direct_rle:
+                if use_trash:
+                    # full-array stable scatter: dropped elements pile into the
+                    # single trash slot past the end, no boolean compression
+                    pp = _depth % 2
+                    new_inst = ws.buf(f"tree/inst/{pp}", n_new + 1, IDX_DTYPE)
+                    new_inst[dest] = inst_arr
+                    new_inst = new_inst[:n_new]
+                    if used_rle:
                         rle_state = split_runs_direct(
-                            device, rle_state, side_ent, left_seg, right_seg, 2 * k * d_used
+                            device,
+                            rle_state,
+                            side_ent,
+                            left_seg,
+                            right_seg,
+                            2 * k * d_used,
+                            workspace=ws,
+                            parity=_depth,
                         )
                     else:
-                        rle_state = split_runs_with_decompression(
-                            device, rle_state, dest, new_offsets
-                        )
+                        val_buf = ws.buf(f"tree/vals/{pp}", n_new + 1, np.float64)
+                        val_buf[dest] = vals
+                        vals = val_buf[:n_new]
                 else:
-                    new_vals = np.empty(n_new, dtype=np.float64)
-                    new_vals[dest[keep]] = vals[keep]
-                    vals = new_vals
+                    keep = dest >= 0
+                    new_inst = np.empty(n_new, dtype=np.int64)
+                    new_inst[dest[keep]] = inst_arr[keep]
+                    if used_rle:
+                        if p.use_direct_rle:
+                            rle_state = split_runs_direct(
+                                device, rle_state, side_ent, left_seg, right_seg, 2 * k * d_used
+                            )
+                        else:
+                            rle_state = split_runs_with_decompression(
+                                device, rle_state, dest, new_offsets
+                            )
+                    else:
+                        new_vals = np.empty(n_new, dtype=np.float64)
+                        new_vals[dest[keep]] = vals[keep]
+                        vals = new_vals
                 inst_arr = new_inst
                 layout = SegmentLayout(new_offsets, 2 * k, d_used)
 
@@ -498,9 +585,15 @@ class GPUGBDTTrainer:
                 pg = node_g[split_locals]
                 ph = node_h[split_locals]
                 pn = node_n[split_locals]
-                node_g = np.empty(2 * k)
-                node_h = np.empty(2 * k)
-                node_n = np.empty(2 * k, dtype=np.int64)
+                if ws.enabled:
+                    pp = _depth % 2
+                    node_g = ws.buf(f"tree/node_g/{pp}", 2 * k, np.float64)
+                    node_h = ws.buf(f"tree/node_h/{pp}", 2 * k, np.float64)
+                    node_n = ws.buf(f"tree/node_n/{pp}", 2 * k, IDX_DTYPE)
+                else:
+                    node_g = np.empty(2 * k)
+                    node_h = np.empty(2 * k)
+                    node_n = np.empty(2 * k, dtype=np.int64)
                 node_g[0::2], node_g[1::2] = lg, pg - lg
                 node_h[0::2], node_h[1::2] = lh, ph - lh
                 node_n[0::2], node_n[1::2] = ln, pn - ln
@@ -541,8 +634,18 @@ class GPUGBDTTrainer:
             tree.set_leaf(int(node_tree_ids[loc]), float(values[loc]))
         is_leaf_local = np.zeros(node_tree_ids.size, dtype=bool)
         is_leaf_local[leaf_locals] = True
-        local_safe = np.maximum(inst2local, 0)
-        settled = (inst2local >= 0) & is_leaf_local[local_safe]
+        ws = self.workspace
+        if ws.enabled:
+            local_safe = ws.buf("leaf/local_safe", inst2local.size, IDX_DTYPE)
+            np.maximum(inst2local, 0, out=local_safe)
+            settled = ws.buf("leaf/settled", inst2local.size, bool)
+            np.greater_equal(inst2local, 0, out=settled)
+            lmask = ws.buf("leaf/lmask", inst2local.size, bool)
+            np.take(is_leaf_local, local_safe, out=lmask)
+            np.logical_and(settled, lmask, out=settled)
+        else:
+            local_safe = np.maximum(inst2local, 0)
+            settled = (inst2local >= 0) & is_leaf_local[local_safe]
         ids = np.flatnonzero(settled)
         gc.on_leaves(ids, values[inst2local[ids]])
         inst2local[ids] = -1

@@ -85,11 +85,13 @@ def segmented_inclusive_cumsum(
     offsets: np.ndarray,
     name: str = "seg_prefix_sum",
     charge: bool = True,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Segmented inclusive prefix sum (Fig. 1 of the paper).
 
     Implemented the way a single-pass GPU segmented scan behaves: a global
-    scan whose carry is cancelled at segment heads.
+    scan whose carry is cancelled at segment heads.  ``out`` (optional,
+    matching accumulator dtype) receives the result without allocating.
     """
     values = np.asarray(values)
     n = values.size
@@ -98,13 +100,16 @@ def segmented_inclusive_cumsum(
         acc = values.astype(np.int64, copy=False)
     else:
         acc = values.astype(np.float64, copy=False)
-    out = np.cumsum(acc)
+    if out is None:
+        out = np.cumsum(acc)
+    else:
+        np.cumsum(acc, out=out)
     if n > 0:
         starts = offsets[:-1]
         lens = np.diff(offsets)
         # carry entering a segment = inclusive scan value just before its start
         base = np.where(starts > 0, out[np.maximum(starts - 1, 0)], 0)
-        out = out - np.repeat(base, lens)
+        np.subtract(out, np.repeat(base, lens), out=out)
     if charge:
         device.launch(
             name,
@@ -121,8 +126,15 @@ def segmented_sum(
     offsets: np.ndarray,
     name: str = "seg_reduce_sum",
     charge: bool = True,
+    scratch: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Per-segment totals; empty segments sum to 0."""
+    """Per-segment totals; empty segments sum to 0.
+
+    ``scratch`` (optional, ``n + 1`` elements of the accumulator dtype)
+    holds the intermediate exclusive prefix sum so only the small
+    per-segment result is allocated; totals are bit-identical either way
+    (the same prefix values are subtracted).
+    """
     values = np.asarray(values)
     n = values.size
     offsets = check_offsets(offsets, n)
@@ -132,8 +144,16 @@ def segmented_sum(
     else:
         acc = values.astype(np.float64, copy=False)
         zero = np.float64(0.0)
-    c = np.concatenate(([zero], np.cumsum(acc)))
-    out = c[offsets[1:]] - c[offsets[:-1]]
+    if scratch is None:
+        c = np.concatenate(([zero], np.cumsum(acc)))
+        out = c[offsets[1:]] - c[offsets[:-1]]
+    else:
+        if scratch.size < n + 1:
+            raise ValueError("scratch must hold n + 1 accumulator elements")
+        c = scratch[: n + 1]
+        c[0] = zero
+        np.cumsum(acc, out=c[1:])
+        out = c[offsets[1:]] - c[offsets[:-1]]
     if charge:
         device.launch(
             name,
@@ -198,11 +218,24 @@ def argmax_first(device: GpuDevice, values: np.ndarray, name: str = "reduce_argm
 
 
 # ------------------------------------------------------------------- gathers
-def gather(device: GpuDevice, src: np.ndarray, idx: np.ndarray, name: str = "gather") -> np.ndarray:
-    """``src[idx]`` with irregular-access cost (the paper's challenge 1)."""
+def gather(
+    device: GpuDevice,
+    src: np.ndarray,
+    idx: np.ndarray,
+    name: str = "gather",
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """``src[idx]`` with irregular-access cost (the paper's challenge 1).
+
+    ``out`` (optional, ``idx``-shaped, ``src``-dtyped) receives the gathered
+    values without allocating.
+    """
     src = np.asarray(src)
     idx = np.asarray(idx)
-    out = src[idx]
+    if out is None:
+        out = src[idx]
+    else:
+        np.take(src, idx, out=out)
     device.launch(
         name,
         elements=idx.size,

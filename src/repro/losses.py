@@ -52,6 +52,18 @@ class Loss:
         """Return per-instance first and second derivatives ``(g, h)``."""
         raise NotImplementedError
 
+    def gradients_into(
+        self, y: np.ndarray, yhat: np.ndarray, g: np.ndarray, h: np.ndarray
+    ) -> bool:
+        """Write ``(g, h)`` into preallocated float64 buffers, if supported.
+
+        Returns True when the buffers were filled (with values bit-identical
+        to :meth:`gradients`); False means the caller must fall back to the
+        allocating path.  Losses override this only when the in-place
+        formulation preserves the exact elementary-operation order.
+        """
+        return False
+
     def value(self, y: np.ndarray, yhat: np.ndarray) -> float:
         """Return the mean loss over the batch (for monitoring)."""
         raise NotImplementedError
@@ -88,6 +100,20 @@ class SquaredErrorLoss(Loss):
         g = 2.0 * (yhat - y)
         h = np.full_like(g, 2.0)
         return g, h
+
+    def gradients_into(
+        self, y: np.ndarray, yhat: np.ndarray, g: np.ndarray, h: np.ndarray
+    ) -> bool:
+        """Allocation-free variant: the same subtract-then-scale sequence as
+        :meth:`gradients`, so results are bit-identical."""
+        y = np.asarray(y, dtype=np.float64)
+        yhat = np.asarray(yhat, dtype=np.float64)
+        if y.shape != yhat.shape:
+            raise ValueError(f"shape mismatch: y {y.shape} vs yhat {yhat.shape}")
+        np.subtract(yhat, y, out=g)
+        np.multiply(g, 2.0, out=g)
+        h[...] = 2.0
+        return True
 
     def value(self, y: np.ndarray, yhat: np.ndarray) -> float:
         """Mean squared error of the batch."""

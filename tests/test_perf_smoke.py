@@ -1,0 +1,99 @@
+"""Tier-1 perf smoke: the hot path must not silently regress.
+
+Wall-clock gates are inherently noisy, so the thresholds are generous
+(``max_time_ratio`` x the recorded baseline seconds, a conservative floor on
+the arena speedup) and the whole module can be skipped on constrained or
+shared machines with ``REPRO_SKIP_PERF=1``.
+
+``results/perf_baseline.json`` is the contract; ``docs/performance.md``
+documents how to refresh it after an intentional perf change.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.hotpath import HOTPATH_WORKLOADS, run_workload
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_PERF") == "1",
+    reason="REPRO_SKIP_PERF=1: wall-clock gates disabled",
+)
+
+_BASELINE_PATH = Path(__file__).resolve().parent.parent / "results" / "perf_baseline.json"
+
+
+@pytest.fixture(scope="module")
+def baseline() -> dict:
+    return json.loads(_BASELINE_PATH.read_text(encoding="utf-8"))
+
+
+def test_baseline_document_shape(baseline):
+    assert set(baseline["gates"]) >= {"max_time_ratio", "min_medium_speedup"}
+    for name in ("medium", "smoke"):
+        row = baseline["workloads"][name]
+        assert row["arena_off_s"] > 0 and row["arena_on_s"] > 0
+
+
+def test_smoke_workload_within_baseline(baseline):
+    """Tiny fixed workload stays within ``max_time_ratio`` x recorded time."""
+    result = run_workload(HOTPATH_WORKLOADS["smoke"], repeats=3)
+    assert result.identical_models
+    ratio = float(baseline["gates"]["max_time_ratio"])
+    budget = ratio * float(baseline["workloads"]["smoke"]["arena_on_s"])
+    assert result.arena_on_s <= budget, (
+        f"smoke workload took {result.arena_on_s:.3f}s, budget {budget:.3f}s "
+        f"({ratio}x baseline); refresh results/perf_baseline.json if this "
+        "machine is legitimately slower (docs/performance.md)"
+    )
+
+
+def _measure_medium_fresh(tmp_path: Path, repeats: int, tag: str) -> dict:
+    """Time the medium workload in a **fresh subprocess** via the bench CLI.
+
+    In-process measurement would be wrong here: a long-lived warm heap (such
+    as mid-pytest-suite) has raised the allocator's mmap threshold, so the
+    legacy path's big per-level temporaries come from cheap free-list memory
+    -- erasing the very mmap/page-fault cost the arena removes.  Real fits
+    run in fresh processes; the gate measures that regime.
+    """
+    out = tmp_path / f"hotpath-{tag}.json"
+    env = os.environ.copy()
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = os.pathsep.join(filter(None, [src, env.get("PYTHONPATH")]))
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.bench.hotpath",
+            "--workloads", "medium", "--repeats", str(repeats), "--out", str(out),
+        ],
+        env=env, capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, f"bench CLI failed:\n{proc.stdout}\n{proc.stderr}"
+    (row,) = json.loads(out.read_text(encoding="utf-8"))["rows"]
+    assert row["identical_models"]
+    return row
+
+
+def test_medium_arena_speedup_gate(baseline, tmp_path):
+    """The arena must keep paying for itself on the gated medium workload."""
+    floor = float(baseline["gates"]["min_medium_speedup"])
+    # a transiently loaded machine can compress the off/on ratio, so a miss
+    # earns one clean re-measurement (more repeats) before the gate fails
+    row = _measure_medium_fresh(tmp_path, repeats=2, tag="first")
+    if row["speedup"] < floor:
+        row = _measure_medium_fresh(tmp_path, repeats=4, tag="retry")
+    assert row["speedup"] >= floor, (
+        f"arena speedup {row['speedup']:.2f}x fell below the {floor}x gate "
+        f"(off {row['arena_off_s']:.3f}s, on {row['arena_on_s']:.3f}s); see "
+        "docs/performance.md"
+    )
+    budget = float(baseline["gates"]["max_time_ratio"]) * float(
+        baseline["workloads"]["medium"]["arena_on_s"]
+    )
+    assert row["arena_on_s"] <= budget, (
+        f"medium workload took {row['arena_on_s']:.3f}s, budget {budget:.3f}s"
+    )

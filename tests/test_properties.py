@@ -124,3 +124,127 @@ def test_duplicate_rows_share_leaves():
     model = GPUGBDTTrainer(GBDTParams(n_trees=2, max_depth=4)).fit(X, y)
     pred = model.predict(X)
     assert pred[0] == pred[1]
+
+
+# --------------------------------------------------------------- metamorphic
+# Seeded dataset fuzzer + metamorphic relations: each test below transforms
+# the training problem in a way with a *provable* effect on the result and
+# asserts exactly that effect.
+
+
+@st.composite
+def adversarial_problem(draw, quantize=True):
+    """Dense problems stacked with the hot path's worst cases: fully-missing
+    (NaN) column blocks, constant and duplicate columns, duplicate rows,
+    single-row nodes (tiny n, deep trees) and extreme target magnitudes."""
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    n = draw(st.integers(6, 48))
+    d = draw(st.integers(2, 7))
+    dense = rng.normal(size=(n, d))
+    levels = draw(st.sampled_from([0, 2, 4])) if quantize else 0
+    if levels:
+        dense = np.round(dense * levels) / levels  # duplicate values -> runs
+    mask = rng.random((n, d)) < draw(st.floats(0.4, 1.0))
+    if draw(st.booleans()):  # a fully-missing (all-NaN) column block
+        mask[:, draw(st.integers(0, d - 1))] = False
+    if draw(st.booleans()):  # constant column
+        dense[:, draw(st.integers(0, d - 1))] = 1.5
+    if d >= 2 and draw(st.booleans()):  # duplicate column (guaranteed gain tie)
+        dense[:, d - 1] = dense[:, 0]
+        mask[:, d - 1] = mask[:, 0]
+    if n >= 8 and draw(st.booleans()):  # duplicate rows
+        dense[n // 2 :] = dense[: n - n // 2]
+        mask[n // 2 :] = mask[: n - n // 2]
+    scale = 10.0 ** float(draw(st.integers(-3, 4)))  # extreme gradients
+    y = (dense @ rng.normal(size=d) + rng.normal(scale=0.1, size=n)) * scale
+    r, c = np.nonzero(mask)
+    X = CSRMatrix.from_coo(r, c, dense[r, c], n_rows=n, n_cols=d)
+    return X, dense, mask, y, seed
+
+
+def _csr_from(dense, mask):
+    r, c = np.nonzero(mask)
+    return CSRMatrix.from_coo(
+        r, c, dense[r, c], n_rows=dense.shape[0], n_cols=dense.shape[1]
+    )
+
+
+@given(adversarial_problem(quantize=False))
+@SETTINGS
+def test_feature_permutation_invariance(problem):
+    """Relabeling features must not change predictions: the same instances
+    end up in the same leaves.  Continuous values only -- quantized columns
+    can tie two *different* features' gains exactly, where attr-order
+    tie-breaking legitimately picks different splits.  Duplicate columns tie
+    too, but either winner induces the identical partition, so predictions
+    differ at most by float summation order."""
+    X, dense, mask, y, seed = problem
+    d = dense.shape[1]
+    perm = np.random.default_rng(seed + 1).permutation(d)
+    Xp = _csr_from(dense[:, perm], mask[:, perm])
+    p = GBDTParams(n_trees=3, max_depth=4)
+    base = GPUGBDTTrainer(p).fit(X, y).predict(X)
+    permuted = GPUGBDTTrainer(p).fit(Xp, y).predict(Xp)
+    scale = max(1.0, float(np.max(np.abs(base))))
+    assert np.allclose(base, permuted, rtol=1e-9, atol=1e-9 * scale)
+
+
+@given(adversarial_problem())
+@SETTINGS
+def test_instance_duplication_equals_doubled_weight(problem):
+    """Training on every instance twice with doubled regularization is the
+    same problem: Eq. (2) gains become (2G)^2/(2H + 2*lambda) = 2x and leaf
+    weights -2G/(2H + 2*lambda) are unchanged, so (with gamma 0) trees and
+    predictions agree."""
+    X, dense, mask, y, _ = problem
+    lam = 0.7
+    p1 = GBDTParams(n_trees=2, max_depth=3, lambda_=lam, gamma=0.0)
+    p2 = GBDTParams(n_trees=2, max_depth=3, lambda_=2 * lam, gamma=0.0)
+    X2 = _csr_from(np.vstack([dense, dense]), np.vstack([mask, mask]))
+    y2 = np.concatenate([y, y])
+    single = GPUGBDTTrainer(p1).fit(X, y).predict(X)
+    doubled = GPUGBDTTrainer(p2).fit(X2, y2).predict(X2)
+    assert np.allclose(doubled[: y.size], doubled[y.size :], rtol=0, atol=0)
+    scale = max(1.0, float(np.max(np.abs(single))))
+    assert np.allclose(single, doubled[: y.size], rtol=1e-9, atol=1e-9 * scale)
+
+
+@given(adversarial_problem(), st.booleans())
+@SETTINGS
+def test_rle_on_off_identity(problem, direct):
+    """Compressed and raw attribute lists must grow byte-identical trees
+    (paper Section III-C: RLE is an encoding, not an approximation)."""
+    X, _, _, y, _ = problem
+    on = GPUGBDTTrainer(
+        GBDTParams(n_trees=2, max_depth=4, rle_policy="always", use_direct_rle=direct)
+    ).fit(X, y)
+    off = GPUGBDTTrainer(GBDTParams(n_trees=2, max_depth=4, rle_policy="never")).fit(X, y)
+    # to_json embeds the (intentionally different) params; the *trees* and
+    # base score must match exactly
+    assert models_equal(on, off)
+
+
+@given(adversarial_problem(), st.sampled_from(["never", "always", "paper"]))
+@SETTINGS
+def test_arena_on_off_identity(problem, rle_policy):
+    """The workspace arena is a pure allocation strategy: serialized models
+    must be byte-identical with it on and off."""
+    X, _, _, y, _ = problem
+    p = GBDTParams(n_trees=2, max_depth=4, rle_policy=rle_policy)
+    on = GPUGBDTTrainer(p, use_arena=True).fit(X, y)
+    off = GPUGBDTTrainer(p, use_arena=False).fit(X, y)
+    assert on.to_json() == off.to_json()
+
+
+@given(adversarial_problem())
+@SETTINGS
+def test_predictions_within_label_hull(problem):
+    """For squared loss a single tree's leaf weights are shrunk leaf means:
+    every prediction lies in the hull of the labels and the 0 base score."""
+    X, _, _, y, _ = problem
+    model = GPUGBDTTrainer(GBDTParams(n_trees=1, max_depth=5, learning_rate=1.0)).fit(X, y)
+    pred = model.predict(X)
+    lo, hi = min(0.0, float(y.min())), max(0.0, float(y.max()))
+    slack = 1e-12 * max(1.0, abs(lo), abs(hi))
+    assert np.all(pred >= lo - slack) and np.all(pred <= hi + slack)
