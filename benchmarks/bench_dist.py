@@ -1,0 +1,35 @@
+"""Benchmark: distributed data-parallel scaling + layout comm comparison.
+
+Runs :mod:`repro.bench.distbench`: the W ∈ {1,2,4,8} scaling curve of the
+row-sharded histogram trainer (modeled seconds, collective traffic,
+byte-identity assertions) and the data-parallel vs attribute-parallel
+comm-volume table.  ``--quick-bench`` shrinks the workload and worker set.
+"""
+
+import pytest
+
+from repro.bench.distbench import run_dist_bench, write_dist_json
+
+from conftest import print_result
+
+
+@pytest.mark.benchmark(group="dist")
+def test_dist(benchmark, quick):
+    result = benchmark.pedantic(
+        lambda: run_dist_bench(quick=quick), rounds=1, iterations=1
+    )
+    print_result(
+        result, "Distributed training -- scaling and comm volume", bench="dist"
+    )
+    path = write_dist_json(result)
+    print(f"[dist json -> {path}]")
+
+    # sharding must never change the trees, at any W
+    for row in result.scaling:
+        assert row.identical_model, f"W={row.workers} diverged"
+
+    # data-parallel must move (much) less than attribute-parallel here
+    by_layout = {r.layout: r for r in result.layouts}
+    assert (
+        by_layout["data-parallel"].comm_mb < by_layout["attribute-parallel"].comm_mb
+    )

@@ -7,7 +7,6 @@ only the tiny smoke workload.
 """
 
 import json
-import os
 from pathlib import Path
 
 import pytest
@@ -27,8 +26,7 @@ def test_hotpath(benchmark, quick):
     )
     print_result(result, "Hot path -- wall-clock, arena off vs. on", bench="hotpath")
 
-    out_dir = Path(os.environ.get("BENCH_METRICS_DIR", Path(__file__).parent / "out"))
-    path = write_hotpath_json(result, out_dir / "BENCH_hotpath.json")
+    path = write_hotpath_json(result)
     print(f"[hotpath json -> {path}]")
 
     # the arena must never change the trees, at any scale

@@ -15,11 +15,11 @@ pytest-benchmark columns report.
 Each benchmark also emits its numeric results as a JSONL metrics file
 (``BENCH_<name>.jsonl``) through the shared observability registry
 (:mod:`repro.obs`), so per-run numbers can be diffed across commits without
-scraping the printed tables.  Files land in ``$BENCH_METRICS_DIR`` (default:
-``benchmarks/out/``).
+scraping the printed tables.  Files land in the standard bench output
+location (:mod:`repro.bench.output`): ``$BENCH_METRICS_DIR`` when set,
+otherwise the repository root.
 """
 
-import os
 from pathlib import Path
 
 import pytest
@@ -59,6 +59,7 @@ def _numeric_leaves(payload, prefix=""):
 def emit_bench_metrics(result, name: str) -> Path:
     """Flatten ``result``'s numeric fields into gauges and write them as
     ``BENCH_<name>.jsonl`` via the obs registry; returns the file path."""
+    from repro.bench.output import bench_output_dir
     from repro.bench.regress import to_payload
     from repro.obs import MetricsRegistry, write_jsonl
 
@@ -67,8 +68,7 @@ def emit_bench_metrics(result, name: str) -> Path:
         registry.gauge(
             "bench_value", "flattened benchmark scalar", bench=name, key=key
         ).set(value)
-    out_dir = Path(os.environ.get("BENCH_METRICS_DIR", Path(__file__).parent / "out"))
-    path = out_dir / f"BENCH_{name}.jsonl"
+    path = bench_output_dir() / f"BENCH_{name}.jsonl"
     write_jsonl(path, registry=registry)
     return path
 

@@ -38,6 +38,7 @@ from .data import (
     make_dataset,
     table1_example,
 )
+from .dist import DistributedHistTrainer, FaultPlan, LinkSpec
 from .gpusim import (
     TESLA_K20,
     TESLA_P100,
@@ -95,6 +96,9 @@ __all__ = [
     "load_libsvm",
     "make_dataset",
     "table1_example",
+    "DistributedHistTrainer",
+    "FaultPlan",
+    "LinkSpec",
     "TESLA_K20",
     "TESLA_P100",
     "TITAN_X_PASCAL",

@@ -20,6 +20,16 @@ set coincides with the exact trainer's, so the learned *partitions* (tree
 structure, gains, instance counts, training predictions) match exactly --
 only thresholds sit at bin edges instead of value midpoints.  On truly
 continuous data the trees genuinely differ: that is the approximation.
+
+Histogram statistics accumulate in **fixed-point int64**
+(:mod:`repro.approx.fixedpoint`): each round's gradients are quantized once
+onto a power-of-two grid chosen from their global magnitudes, and every
+per-(node, attribute, bin) sum is an exact integer.  Resolution (~2**-40)
+sits far below the float32 gain quantization that decides splits, so trees
+are indistinguishable from full-precision training -- and because integer
+sums are order-independent, the row-sharded data-parallel trainer
+(:mod:`repro.dist`) that ring-allreduces the same tables is **byte-identical**
+to this trainer for any worker count.
 """
 
 from __future__ import annotations
@@ -31,11 +41,12 @@ import numpy as np
 from ..core.booster_model import GBDTModel
 from ..core.params import GBDTParams
 from ..core.smartgd import GradientComputer
-from ..core.split import eq2_gain, quantize_gain
 from ..core.tree import DecisionTree
 from ..data.matrix import CSRMatrix
 from ..data.sorted_columns import build_sorted_columns
 from ..gpusim.kernel import GpuDevice
+from .fixedpoint import choose_shift, quantize_gradients
+from .histops import accumulate_histograms, leaf_values, scan_histograms
 from .quantile import BinSpec, bin_column_values, build_bins
 
 __all__ = ["HistogramGBDTTrainer"]
@@ -86,10 +97,13 @@ class HistogramGBDTTrainer:
         if n < 2:
             raise ValueError("need at least 2 training instances")
 
+        base = self._base_score(y)
+        self._nrows = self._global_rows(n)
+
         with device.phase("setup"):
             csc = X.to_csc()
             cols = build_sorted_columns(csc, device)
-            spec = build_bins(cols, self.max_bins)
+            spec = self._bin_spec(cols)
             self.bins_ = spec
             ent_bin = bin_column_values(spec, cols)
             ent_inst = cols.inst
@@ -130,27 +144,35 @@ class HistogramGBDTTrainer:
         gc = GradientComputer(
             device, p.loss_fn, y, use_smartgd=p.use_smartgd, row_scale=self.row_scale, X=X
         )
+        # base may be globally computed (distributed); overwrite the local one
+        gc.yhat[:] = base
+        self._warm_start(gc)
 
-        trees: List[DecisionTree] = []
-        for _ in range(p.n_trees):
+        trees: List[DecisionTree] = list(self._initial_trees())
+        for round_ in range(len(trees), p.n_trees):
+            self._round_start(round_)
             with device.phase("gradients"):
                 g, h = gc.compute()
+            shift = self._round_shift(g, h)
+            gq, hq = quantize_gradients(g, h, shift)
             grow = (
                 self._grow_tree if self.grow_policy == "depthwise" else self._grow_tree_lossguide
             )
             tree = grow(
-                X, g, h, ent_inst, ent_gbin, ent_attr, bin_offset, spec, col_lens, gc
+                X, gq, hq, shift, ent_inst, ent_gbin, ent_attr, bin_offset, spec, col_lens, gc
             )
             gc.on_tree_finished(tree)
             trees.append(tree)
-        return GBDTModel(trees=trees, params=p, base_score=p.loss_fn.base_score(y))
+            self._round_end(round_, trees)
+        return GBDTModel(trees=trees, params=p, base_score=base)
 
     # ------------------------------------------------------------- tree grow
     def _grow_tree(
         self,
         X: CSRMatrix,
-        g: np.ndarray,
-        h: np.ndarray,
+        gq: np.ndarray,
+        hq: np.ndarray,
+        shift: int,
         ent_inst: np.ndarray,
         ent_gbin: np.ndarray,
         ent_attr: np.ndarray,
@@ -164,23 +186,24 @@ class HistogramGBDTTrainer:
         n, d = X.shape
         total_bins = int(bin_offset[-1])
 
+        root_gq, root_hq, root_n = self._root_sums(gq, hq, n)
         tree = DecisionTree()
-        tree.add_root(n)
+        tree.add_root(root_n)
         inst2local = np.zeros(n, dtype=np.int64)
         node_tree_ids = np.array([0], dtype=np.int64)
-        node_g = np.array([float(np.bincount(np.zeros(n, np.int64), weights=g)[0])])
-        node_h = np.array([float(np.bincount(np.zeros(n, np.int64), weights=h)[0])])
-        node_n = np.array([n], dtype=np.int64)
+        node_gq = np.array([root_gq], dtype=np.int64)
+        node_hq = np.array([root_hq], dtype=np.int64)
+        node_n = np.array([root_n], dtype=np.int64)
 
         for _depth in range(p.max_depth):
             n_active = node_tree_ids.size
 
             with device.phase("find_split"):
                 (
-                    best_gain, best_attr, best_cut, best_dir, best_lg, best_lh, best_ln
+                    best_gain, best_attr, best_cut, best_dir, best_lgq, best_lhq, best_ln
                 ) = self._find_splits(
-                    g, h, ent_inst, ent_gbin, inst2local, n_active, total_bins,
-                    bin_offset, node_g, node_h, node_n, col_lens,
+                    gq, hq, shift, ent_inst, ent_gbin, inst2local, n_active, total_bins,
+                    bin_offset, node_gq, node_hq, node_n, col_lens,
                 )
 
             split_mask = (best_attr >= 0) & (best_gain > p.gamma)
@@ -189,8 +212,9 @@ class HistogramGBDTTrainer:
                 leaf_locals = np.flatnonzero(~split_mask)
                 if leaf_locals.size:
                     values = np.zeros(n_active)
-                    values[leaf_locals] = (
-                        -p.learning_rate * node_g[leaf_locals] / (node_h[leaf_locals] + p.lambda_)
+                    values[leaf_locals] = leaf_values(
+                        node_gq[leaf_locals], node_hq[leaf_locals], shift,
+                        p.learning_rate, p.lambda_,
                     )
                     for loc in leaf_locals:
                         tree.set_leaf(int(node_tree_ids[loc]), float(values[loc]))
@@ -255,20 +279,20 @@ class HistogramGBDTTrainer:
                 )
                 inst2local = np.where(active, new_local_of[safe] + side_inst, -1)
 
-                lg = best_lg[split_locals]
-                lh = best_lh[split_locals]
+                lgq = best_lgq[split_locals]
+                lhq = best_lhq[split_locals]
                 ln = best_ln[split_locals]
-                pg, ph, pn = node_g[split_locals], node_h[split_locals], node_n[split_locals]
-                node_g = np.empty(2 * k)
-                node_h = np.empty(2 * k)
+                pgq, phq, pn = node_gq[split_locals], node_hq[split_locals], node_n[split_locals]
+                node_gq = np.empty(2 * k, dtype=np.int64)
+                node_hq = np.empty(2 * k, dtype=np.int64)
                 node_n = np.empty(2 * k, dtype=np.int64)
-                node_g[0::2], node_g[1::2] = lg, pg - lg
-                node_h[0::2], node_h[1::2] = lh, ph - lh
+                node_gq[0::2], node_gq[1::2] = lgq, pgq - lgq
+                node_hq[0::2], node_hq[1::2] = lhq, phq - lhq
                 node_n[0::2], node_n[1::2] = ln, pn - ln
                 node_tree_ids = new_tree_ids
 
         if node_tree_ids.size and (inst2local >= 0).any():
-            values = -p.learning_rate * node_g / (node_h + p.lambda_)
+            values = leaf_values(node_gq, node_hq, shift, p.learning_rate, p.lambda_)
             for loc in range(node_tree_ids.size):
                 tree.set_leaf(int(node_tree_ids[loc]), float(values[loc]))
             ids = np.flatnonzero(inst2local >= 0)
@@ -279,119 +303,88 @@ class HistogramGBDTTrainer:
     # ---------------------------------------------------------- split search
     def _find_splits(
         self,
-        g, h, ent_inst, ent_gbin, inst2local, n_active, total_bins,
-        bin_offset, node_g, node_h, node_n, col_lens,
+        gq, hq, shift, ent_inst, ent_gbin, inst2local, n_active, total_bins,
+        bin_offset, node_gq, node_hq, node_n, col_lens,
     ):
         """Histogram accumulation + boundary enumeration for every node.
 
-        Candidate order per (node, attribute): interior boundaries by
-        ascending cut index (descending value), then the present|missing
-        boundary -- the same canonical order as the exact trainer, with
-        float32-quantized gains, so ties resolve identically.
+        Thin wrapper over the shared kernels of :mod:`repro.approx.histops`
+        (also driven, with a ring allreduce in between, by
+        :mod:`repro.dist.trainer`) plus this device's cost charges.
         """
         device = self.device
         p = self.params
-        d = bin_offset.size - 1
 
-        ent_node = inst2local[ent_inst]
-        live = ent_node >= 0
-        idx = ent_node[live] * total_bins + ent_gbin[live]
-        size = n_active * total_bins
-        hist_g = np.bincount(idx, weights=g[ent_inst[live]], minlength=size)
-        hist_h = np.bincount(idx, weights=h[ent_inst[live]], minlength=size)
-        hist_c = np.bincount(idx, minlength=size).astype(np.int64)
+        hist_gq, hist_hq, hist_c, n_live = accumulate_histograms(
+            gq, hq, ent_inst, ent_gbin, inst2local, n_active, total_bins
+        )
         device.launch(
             "accumulate_histograms",
-            elements=int(live.sum()),
+            elements=n_live,
             flops_per_element=3.0,
-            coalesced_bytes=live.sum() * 12,
-            irregular_bytes=live.sum() * 24,  # atomic adds into node tables
+            coalesced_bytes=n_live * 12,
+            irregular_bytes=n_live * 24,  # atomic adds into node tables
         )
-
-        hist_g = hist_g.reshape(n_active, total_bins)
-        hist_h = hist_h.reshape(n_active, total_bins)
-        hist_c = hist_c.reshape(n_active, total_bins)
-
-        best_gain = np.full(n_active, -np.inf)
-        best_attr = np.full(n_active, -1, dtype=np.int64)
-        best_cut = np.full(n_active, -1, dtype=np.int64)
-        best_dir = np.zeros(n_active, dtype=bool)
-        best_lg = np.zeros(n_active)
-        best_lh = np.zeros(n_active)
-        best_ln = np.zeros(n_active, dtype=np.int64)
-
+        hist_gq, hist_hq, hist_c = self._reduce_histograms(hist_gq, hist_hq, hist_c)
         device.launch(
             "scan_histograms_for_best_split",
             elements=n_active * total_bins,
             flops_per_element=30.0,
             coalesced_bytes=n_active * total_bins * 32,
         )
+        return scan_histograms(
+            hist_gq, hist_hq, hist_c, node_gq, node_hq, node_n,
+            bin_offset, shift, p.lambda_,
+        )
 
-        for a in range(d):
-            lo, hi = int(bin_offset[a]), int(bin_offset[a + 1])
-            nb = hi - lo
-            cg = np.cumsum(hist_g[:, lo:hi], axis=1)
-            ch = np.cumsum(hist_h[:, lo:hi], axis=1)
-            cc = np.cumsum(hist_c[:, lo:hi], axis=1)
-            g_present = cg[:, -1]
-            h_present = ch[:, -1]
-            c_present = cc[:, -1]
-            g_miss = node_g - g_present
-            h_miss = node_h - h_present
-            n_miss = node_n - c_present
+    # -------------------------------------------------- distribution hooks
+    # Every quantity whose value must be *global* for the grown trees to be
+    # well-defined flows through one of these methods.  The single-process
+    # trainer computes them locally; the row-sharded worker trainer of
+    # :mod:`repro.dist` overrides them with collectives.  Because the
+    # surrounding grow loop is shared (not duplicated), W-worker training is
+    # byte-identical to single-process training by construction: the hooks
+    # return the same values (exact integer/max reductions), and everything
+    # downstream is the same code.
 
-            # interior boundaries: cut k in 1..nb-1, left = bins [0, k)
-            if nb > 1:
-                gl = cg[:, :-1]  # (n_active, nb-1): cut k uses column k-1
-                hl = ch[:, :-1]
-                cl = cc[:, :-1]
-                valid = (cl > 0) & (cl < c_present[:, None])
-                gain_mr = quantize_gain(
-                    eq2_gain(gl, hl, node_g[:, None], node_h[:, None], p.lambda_)
-                )
-                gain_ml = quantize_gain(
-                    eq2_gain(
-                        gl + g_miss[:, None], hl + h_miss[:, None],
-                        node_g[:, None], node_h[:, None], p.lambda_,
-                    )
-                )
-                dirs = gain_ml >= gain_mr
-                gains = np.where(valid, np.maximum(gain_ml, gain_mr), -np.inf)
-                kbest = np.argmax(gains, axis=1)  # first max per node
-                rows = np.arange(n_active)
-                cand = gains[rows, kbest]
-                better = cand > best_gain
-                if better.any():
-                    bsel = np.flatnonzero(better)
-                    kb = kbest[bsel]
-                    best_gain[bsel] = cand[bsel]
-                    best_attr[bsel] = a
-                    best_cut[bsel] = kb + 1
-                    dsel = dirs[bsel, kb]
-                    best_dir[bsel] = dsel
-                    best_lg[bsel] = gl[bsel, kb] + np.where(dsel, g_miss[bsel], 0.0)
-                    best_lh[bsel] = hl[bsel, kb] + np.where(dsel, h_miss[bsel], 0.0)
-                    best_ln[bsel] = cl[bsel, kb] + np.where(dsel, n_miss[bsel], 0)
+    def _base_score(self, y: np.ndarray) -> float:
+        """Model base score (global mean/odds of the full training set)."""
+        return self.params.loss_fn.base_score(y)
 
-            # present | missing boundary
-            sp_ok = (n_miss > 0) & (c_present > 0)
-            sp_gain = np.where(
-                sp_ok,
-                quantize_gain(eq2_gain(g_present, h_present, node_g, node_h, p.lambda_)),
-                -np.inf,
-            )
-            better = sp_gain > best_gain
-            if better.any():
-                bsel = np.flatnonzero(better)
-                best_gain[bsel] = sp_gain[bsel]
-                best_attr[bsel] = a
-                best_cut[bsel] = nb
-                best_dir[bsel] = False
-                best_lg[bsel] = g_present[bsel]
-                best_lh[bsel] = h_present[bsel]
-                best_ln[bsel] = c_present[bsel]
+    def _global_rows(self, n: int) -> int:
+        """Total training rows across all shards."""
+        return n
 
-        return best_gain, best_attr, best_cut, best_dir, best_lg, best_lh, best_ln
+    def _bin_spec(self, cols) -> BinSpec:
+        """Global quantile cuts (sketch allgather + merge when sharded)."""
+        return build_bins(cols, self.max_bins)
+
+    def _round_shift(self, g: np.ndarray, h: np.ndarray) -> int:
+        """Fixed-point shift from the *global* gradient extrema."""
+        return choose_shift(
+            float(np.max(np.abs(g))), float(np.max(np.abs(h))), self._nrows
+        )
+
+    def _root_sums(self, gq: np.ndarray, hq: np.ndarray, n: int):
+        """Global root statistics ``(sum gq, sum hq, rows)``."""
+        return int(gq.sum()), int(hq.sum()), n
+
+    def _reduce_histograms(self, hist_gq, hist_hq, hist_c):
+        """Combine per-shard histogram tables (ring allreduce when sharded)."""
+        return hist_gq, hist_hq, hist_c
+
+    def _initial_trees(self) -> List[DecisionTree]:
+        """Ensemble to resume from (checkpoint recovery when sharded)."""
+        return []
+
+    def _warm_start(self, gc: GradientComputer) -> None:
+        """Seed predictions with :meth:`_initial_trees` margins."""
+
+    def _round_start(self, round_: int) -> None:
+        """Per-round synchronization / fault-injection point."""
+
+    def _round_end(self, round_: int, trees: List[DecisionTree]) -> None:
+        """Post-round bookkeeping (periodic checkpointing when sharded)."""
 
     # ------------------------------------------------------- lossguide grow
     @staticmethod
@@ -405,8 +398,9 @@ class HistogramGBDTTrainer:
     def _grow_tree_lossguide(
         self,
         X: CSRMatrix,
-        g: np.ndarray,
-        h: np.ndarray,
+        gq: np.ndarray,
+        hq: np.ndarray,
+        shift: int,
         ent_inst: np.ndarray,
         ent_gbin: np.ndarray,
         ent_attr: np.ndarray,
@@ -430,30 +424,28 @@ class HistogramGBDTTrainer:
         n, d = X.shape
         total_bins = int(bin_offset[-1])
 
+        root_gq, root_hq, root_n = self._root_sums(gq, hq, n)
         tree = DecisionTree()
-        tree.add_root(n)
+        tree.add_root(root_n)
         inst2node = np.zeros(n, dtype=np.int64)  # tree node id per instance
-        node_stats = {0: (
-            float(np.bincount(np.zeros(n, np.int64), weights=g)[0]),
-            float(np.bincount(np.zeros(n, np.int64), weights=h)[0]),
-            n,
-        )}
+        node_stats = {0: (root_gq, root_hq, root_n)}
 
         def candidate(node_id: int):
             """Best split of one leaf, or None."""
             gn, hn, nn = node_stats[node_id]
             local = np.where(inst2node == node_id, 0, -1).astype(np.int64)
             with device.phase("find_split"):
-                (gain, attr, cut, dirs, lg, lh, ln) = self._find_splits(
-                    g, h, ent_inst, ent_gbin, local, 1, total_bins,
-                    bin_offset, np.array([gn]), np.array([hn]),
+                (gain, attr, cut, dirs, lgq, lhq, ln) = self._find_splits(
+                    gq, hq, shift, ent_inst, ent_gbin, local, 1, total_bins,
+                    bin_offset, np.array([gn], dtype=np.int64),
+                    np.array([hn], dtype=np.int64),
                     np.array([nn], dtype=np.int64), col_lens,
                 )
             if attr[0] < 0 or not (gain[0] > p.gamma):
                 return None
             return {
                 "gain": float(gain[0]), "attr": int(attr[0]), "cut": int(cut[0]),
-                "dir": bool(dirs[0]), "lg": float(lg[0]), "lh": float(lh[0]),
+                "dir": bool(dirs[0]), "lgq": int(lgq[0]), "lhq": int(lhq[0]),
                 "ln": int(ln[0]),
             }
 
@@ -491,8 +483,8 @@ class HistogramGBDTTrainer:
                 scale=False,
             )
 
-            node_stats[lid] = (rec["lg"], rec["lh"], rec["ln"])
-            node_stats[rid] = (gn - rec["lg"], hn - rec["lh"], nn - rec["ln"])
+            node_stats[lid] = (rec["lgq"], rec["lhq"], rec["ln"])
+            node_stats[rid] = (gn - rec["lgq"], hn - rec["lhq"], nn - rec["ln"])
             for child in (lid, rid):
                 if tree.depth[child] < p.max_depth:
                     cand = candidate(child)
@@ -505,7 +497,13 @@ class HistogramGBDTTrainer:
         for nid in range(tree.n_nodes):
             if tree.is_leaf(nid):
                 gn, hn, _ = node_stats[nid]
-                value = -p.learning_rate * gn / (hn + p.lambda_)
+                value = float(
+                    leaf_values(
+                        np.array([gn], dtype=np.int64),
+                        np.array([hn], dtype=np.int64),
+                        shift, p.learning_rate, p.lambda_,
+                    )[0]
+                )
                 tree.set_leaf(nid, value)
                 value_of_node[nid] = value
         with device.phase("split_node"):

@@ -1,0 +1,194 @@
+"""Shared histogram kernels: integer accumulation, split scan, leaf values.
+
+Both :class:`repro.approx.histogram_trainer.HistogramGBDTTrainer` (one
+process) and :class:`repro.dist.trainer.DistributedHistTrainer` (W
+row-sharded workers) drive the same two functions:
+
+* :func:`accumulate_histograms` -- per-(node, attribute, bin) int64 sums of
+  the fixed-point gradients (:mod:`repro.approx.fixedpoint`) over whatever
+  entry subset the caller owns.  Integer sums are associative, so local
+  histograms ring-allreduced across workers equal the monolithic bincount
+  **exactly**.
+* :func:`scan_histograms` -- cumulative sums plus Eq.-(2) gain enumeration
+  over the (already global) histograms, returning the best split of every
+  node.  It is a pure function of the histogram integers, so every worker
+  that holds the allreduced tables takes the identical decision with no
+  winner broadcast -- the structural reason data-parallel histogram training
+  communicates O(bins), not O(rows).
+
+Candidate order matches the exact trainer's canonical rule: interior
+boundaries by ascending cut index (descending value), then the
+present|missing boundary; gains are float32-quantized before comparison so
+ties resolve identically everywhere (see :mod:`repro.core.split`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.split import eq2_gain, quantize_gain
+from .fixedpoint import inv_scale
+
+__all__ = ["accumulate_histograms", "scan_histograms", "leaf_values"]
+
+
+def accumulate_histograms(
+    gq: np.ndarray,
+    hq: np.ndarray,
+    ent_inst: np.ndarray,
+    ent_gbin: np.ndarray,
+    inst2local: np.ndarray,
+    n_active: int,
+    total_bins: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Int64 (node, global-bin) gradient/hessian/count tables.
+
+    ``gq, hq`` are the fixed-point gradients of the caller's instances;
+    entries whose instance is settled (``inst2local < 0``) are skipped.
+    Returns ``(hist_gq, hist_hq, hist_c, n_live)`` with the tables shaped
+    ``(n_active, total_bins)``.  The float64 staging inside ``bincount`` is
+    exact because :func:`repro.approx.fixedpoint.choose_shift` bounds every
+    possible total below 2**50.
+    """
+    ent_node = inst2local[ent_inst]
+    live = ent_node >= 0
+    idx = ent_node[live] * total_bins + ent_gbin[live]
+    size = n_active * total_bins
+    inst_live = ent_inst[live]
+    hist_gq = (
+        np.bincount(idx, weights=gq[inst_live].astype(np.float64), minlength=size)
+        .astype(np.int64)
+        .reshape(n_active, total_bins)
+    )
+    hist_hq = (
+        np.bincount(idx, weights=hq[inst_live].astype(np.float64), minlength=size)
+        .astype(np.int64)
+        .reshape(n_active, total_bins)
+    )
+    hist_c = (
+        np.bincount(idx, minlength=size).astype(np.int64).reshape(n_active, total_bins)
+    )
+    return hist_gq, hist_hq, hist_c, int(live.sum())
+
+
+def scan_histograms(
+    hist_gq: np.ndarray,
+    hist_hq: np.ndarray,
+    hist_c: np.ndarray,
+    node_gq: np.ndarray,
+    node_hq: np.ndarray,
+    node_n: np.ndarray,
+    bin_offset: np.ndarray,
+    shift: int,
+    lambda_: float,
+):
+    """Best split per node from global histogram tables.
+
+    All statistics enter as exact int64; floats appear only at the gain
+    evaluation (dequantized by an exact power of two), so any two callers
+    holding the same tables compute bit-identical results.
+
+    Returns ``(best_gain, best_attr, best_cut, best_dir, best_lgq,
+    best_lhq, best_ln)`` -- left-child statistics stay in fixed point so the
+    caller can propagate child stats with exact integer subtraction.
+    """
+    inv = inv_scale(shift)
+    n_active = hist_gq.shape[0]
+    d = bin_offset.size - 1
+    node_g = node_gq * inv
+    node_h = node_hq * inv
+
+    best_gain = np.full(n_active, -np.inf)
+    best_attr = np.full(n_active, -1, dtype=np.int64)
+    best_cut = np.full(n_active, -1, dtype=np.int64)
+    best_dir = np.zeros(n_active, dtype=bool)
+    best_lgq = np.zeros(n_active, dtype=np.int64)
+    best_lhq = np.zeros(n_active, dtype=np.int64)
+    best_ln = np.zeros(n_active, dtype=np.int64)
+
+    for a in range(d):
+        lo, hi = int(bin_offset[a]), int(bin_offset[a + 1])
+        nb = hi - lo
+        cgq = np.cumsum(hist_gq[:, lo:hi], axis=1)
+        chq = np.cumsum(hist_hq[:, lo:hi], axis=1)
+        cc = np.cumsum(hist_c[:, lo:hi], axis=1)
+        gq_present = cgq[:, -1]
+        hq_present = chq[:, -1]
+        c_present = cc[:, -1]
+        gq_miss = node_gq - gq_present
+        hq_miss = node_hq - hq_present
+        n_miss = node_n - c_present
+
+        # interior boundaries: cut k in 1..nb-1, left = bins [0, k)
+        if nb > 1:
+            glq = cgq[:, :-1]  # (n_active, nb-1): cut k uses column k-1
+            hlq = chq[:, :-1]
+            cl = cc[:, :-1]
+            valid = (cl > 0) & (cl < c_present[:, None])
+            gain_mr = quantize_gain(
+                eq2_gain(glq * inv, hlq * inv, node_g[:, None], node_h[:, None], lambda_)
+            )
+            gain_ml = quantize_gain(
+                eq2_gain(
+                    (glq + gq_miss[:, None]) * inv,
+                    (hlq + hq_miss[:, None]) * inv,
+                    node_g[:, None],
+                    node_h[:, None],
+                    lambda_,
+                )
+            )
+            dirs = gain_ml >= gain_mr
+            gains = np.where(valid, np.maximum(gain_ml, gain_mr), -np.inf)
+            kbest = np.argmax(gains, axis=1)  # first max per node
+            rows = np.arange(n_active)
+            cand = gains[rows, kbest]
+            better = cand > best_gain
+            if better.any():
+                bsel = np.flatnonzero(better)
+                kb = kbest[bsel]
+                best_gain[bsel] = cand[bsel]
+                best_attr[bsel] = a
+                best_cut[bsel] = kb + 1
+                dsel = dirs[bsel, kb]
+                best_dir[bsel] = dsel
+                best_lgq[bsel] = glq[bsel, kb] + np.where(dsel, gq_miss[bsel], 0)
+                best_lhq[bsel] = hlq[bsel, kb] + np.where(dsel, hq_miss[bsel], 0)
+                best_ln[bsel] = cl[bsel, kb] + np.where(dsel, n_miss[bsel], 0)
+
+        # present | missing boundary
+        sp_ok = (n_miss > 0) & (c_present > 0)
+        sp_gain = np.where(
+            sp_ok,
+            quantize_gain(
+                eq2_gain(gq_present * inv, hq_present * inv, node_g, node_h, lambda_)
+            ),
+            -np.inf,
+        )
+        better = sp_gain > best_gain
+        if better.any():
+            bsel = np.flatnonzero(better)
+            best_gain[bsel] = sp_gain[bsel]
+            best_attr[bsel] = a
+            best_cut[bsel] = nb
+            best_dir[bsel] = False
+            best_lgq[bsel] = gq_present[bsel]
+            best_lhq[bsel] = hq_present[bsel]
+            best_ln[bsel] = c_present[bsel]
+
+    return best_gain, best_attr, best_cut, best_dir, best_lgq, best_lhq, best_ln
+
+
+def leaf_values(
+    node_gq: np.ndarray,
+    node_hq: np.ndarray,
+    shift: int,
+    learning_rate: float,
+    lambda_: float,
+) -> np.ndarray:
+    """Leaf weights ``-eta * G / (H + lambda)`` from fixed-point node stats.
+
+    One shared expression so monolithic and distributed leaves agree to the
+    last bit.
+    """
+    inv = inv_scale(shift)
+    return -learning_rate * (node_gq * inv) / (node_hq * inv + lambda_)

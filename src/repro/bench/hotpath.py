@@ -27,7 +27,11 @@ changing the trees.
 
 Run via pytest (``benchmarks/bench_hotpath.py``) or directly::
 
-    PYTHONPATH=src python -m repro.bench.hotpath --out benchmarks/out/BENCH_hotpath.json
+    PYTHONPATH=src python -m repro.bench.hotpath
+
+Results land as ``BENCH_hotpath.json`` in the standard bench output
+location (repo root, or ``$BENCH_METRICS_DIR`` -- see
+:mod:`repro.bench.output`); ``--out`` overrides the path.
 """
 
 from __future__ import annotations
@@ -188,11 +192,16 @@ def run_hotpath(
     return HotpathResult(rows=rows, repeats=repeats)
 
 
-def write_hotpath_json(result: HotpathResult, path: str | Path) -> Path:
-    """Write ``BENCH_hotpath.json``: one document with per-workload rows."""
+def write_hotpath_json(result: HotpathResult, path: str | Path | None = None) -> Path:
+    """Write ``BENCH_hotpath.json``: one document with per-workload rows.
+
+    ``path=None`` uses the standard bench output location
+    (:func:`repro.bench.output.bench_output_path`).
+    """
+    from .output import bench_output_path
     from .regress import to_payload
 
-    path = Path(path)
+    path = Path(path) if path is not None else bench_output_path("hotpath")
     path.parent.mkdir(parents=True, exist_ok=True)
     # asdict first: to_payload's cleaner keeps scalars/containers only and
     # would silently drop the nested WorkloadResult dataclasses
@@ -207,13 +216,16 @@ def main(argv: List[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--workloads", nargs="*", default=None, help="subset of workload names")
     ap.add_argument("--repeats", type=int, default=3)
-    ap.add_argument("--out", default=None, help="write BENCH_hotpath.json here")
+    ap.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: BENCH_hotpath.json at the repo root)",
+    )
     args = ap.parse_args(argv)
     result = run_hotpath(args.workloads, repeats=args.repeats)
     print(result.text)
     bad = [r.workload for r in result.rows if not r.identical_models]
-    if args.out:
-        print(f"[-> {write_hotpath_json(result, args.out)}]")
+    print(f"[-> {write_hotpath_json(result, args.out)}]")
     if bad:
         print(f"ERROR: arena changed the trees on: {', '.join(bad)}")
         return 1

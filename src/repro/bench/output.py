@@ -1,0 +1,45 @@
+"""Standard benchmark output location: ``BENCH_<name>.json`` at repo root.
+
+Every bench CLI and pytest benchmark writes its machine-readable results
+through this module so artifacts always land in one predictable place:
+
+1. ``$BENCH_METRICS_DIR`` when set (CI points this at its artifact dir),
+2. otherwise the repository root (the first ancestor of this file holding a
+   ``pyproject.toml``),
+3. otherwise the current working directory (installed-package fallback).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = ["bench_output_dir", "bench_output_path", "write_bench_json"]
+
+
+def bench_output_dir() -> Path:
+    """Directory benchmark artifacts belong in (see module docstring)."""
+    env = os.environ.get("BENCH_METRICS_DIR")
+    if env:
+        return Path(env)
+    for parent in Path(__file__).resolve().parents:
+        if (parent / "pyproject.toml").is_file():
+            return parent
+    return Path.cwd()
+
+
+def bench_output_path(name: str) -> Path:
+    """``BENCH_<name>.json`` inside :func:`bench_output_dir`."""
+    return bench_output_dir() / f"BENCH_{name}.json"
+
+
+def write_bench_json(name: str, payload: Any) -> Path:
+    """Write ``payload`` as ``BENCH_<name>.json``; returns the path."""
+    path = bench_output_path(name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8"
+    )
+    return path

@@ -11,6 +11,7 @@ Usage::
     python -m repro table2 --quick    # tiny smoke-scale run
     python -m repro obs report        # instrumented run + phase breakdown
     python -m repro pipeline demo     # continual-training loop on a stream
+    python -m repro dist demo         # row-sharded data-parallel training
 
 ``gpu-gbdt`` (the installed console script) is an alias for ``python -m
 repro``.
@@ -97,6 +98,84 @@ def _pipeline_main(argv: list[str]) -> int:
     return 0
 
 
+def _dist_main(argv: list[str]) -> int:
+    """``gpu-gbdt dist demo``: distributed data-parallel training, with
+    optional worker-kill crash-recovery drill (prints DIST_DIGEST for CI)."""
+    parser = argparse.ArgumentParser(
+        prog="gpu-gbdt dist",
+        description="Distributed data-parallel GBDT: row shards, ring-allreduced "
+        "histograms, fault injection with checkpoint recovery.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    demo = sub.add_parser(
+        "demo", help="train across W workers; verify byte-identity and recovery"
+    )
+    demo.add_argument(
+        "--quick", action="store_true", help="smoke-scale rows and tree count"
+    )
+    demo.add_argument("--workers", type=int, default=4, help="worker count (default 4)")
+    demo.add_argument(
+        "--backend",
+        choices=("sim", "threaded"),
+        default="sim",
+        help="comms backend: modeled ring cost (sim) or real threads (threaded)",
+    )
+    demo.add_argument(
+        "--trees", type=int, default=None, help="boosting rounds (default 8, quick 4)"
+    )
+    demo.add_argument(
+        "--kill-worker",
+        type=int,
+        metavar="RANK",
+        default=None,
+        help="crash this rank mid-training and recover from checkpoint",
+    )
+    demo.add_argument(
+        "--kill-round",
+        type=int,
+        metavar="K",
+        default=None,
+        help="round at which the kill fires (default: halfway)",
+    )
+    demo.add_argument(
+        "--straggler",
+        type=int,
+        metavar="RANK",
+        default=None,
+        help="stall this rank at every round boundary",
+    )
+    demo.add_argument(
+        "--straggler-delay",
+        type=float,
+        metavar="SECONDS",
+        default=0.01,
+        help="straggler stall per round (default 0.01s)",
+    )
+    demo.add_argument(
+        "--ckpt-dir",
+        metavar="DIR",
+        default=None,
+        help="checkpoint directory (a fresh temp dir when killing a worker)",
+    )
+    args = parser.parse_args(argv)
+
+    from .dist.demo import run_dist_demo
+
+    result = run_dist_demo(
+        quick=args.quick,
+        workers=args.workers,
+        backend=args.backend,
+        trees=args.trees,
+        kill_worker=args.kill_worker,
+        kill_round=args.kill_round,
+        straggler=args.straggler,
+        straggler_delay_s=args.straggler_delay,
+        ckpt_dir=args.ckpt_dir,
+    )
+    print(result.text)
+    return 0 if result.matches_single else 1
+
+
 def _obs_main(argv: list[str]) -> int:
     """``gpu-gbdt obs report``: run an instrumented training and print the
     wall-vs-modeled phase breakdown, optionally exporting trace/metrics."""
@@ -154,6 +233,8 @@ def main(argv: list[str] | None = None) -> int:
         return _obs_main(argv[1:])
     if argv and argv[0] == "pipeline":
         return _pipeline_main(argv[1:])
+    if argv and argv[0] == "dist":
+        return _dist_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="gpu-gbdt",
         description="Regenerate the tables and figures of 'Efficient Gradient "

@@ -1,0 +1,33 @@
+"""Distributed data-parallel GBDT training (row shards + collectives).
+
+See :mod:`repro.dist.comms` for the collective layer (simulated and real
+threaded backends, fault injection) and :mod:`repro.dist.trainer` for the
+row-sharded histogram trainer whose W-worker models are byte-identical to
+single-process training.
+"""
+
+from .comms import (
+    Collective,
+    CollectiveStats,
+    FaultPlan,
+    LinkSpec,
+    SimulatedCollective,
+    ThreadedCollective,
+    WorkerCrash,
+    WorkerFailure,
+    run_spmd,
+)
+from .trainer import DistributedHistTrainer
+
+__all__ = [
+    "Collective",
+    "CollectiveStats",
+    "DistributedHistTrainer",
+    "FaultPlan",
+    "LinkSpec",
+    "SimulatedCollective",
+    "ThreadedCollective",
+    "WorkerCrash",
+    "WorkerFailure",
+    "run_spmd",
+]

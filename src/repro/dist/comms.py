@@ -1,0 +1,549 @@
+"""Collective communication for distributed GBDT training.
+
+The paper's future work (Section VI) names multi-GPU / cluster training;
+the production path for it is row-sharded data parallelism over allreduced
+histograms (Mitchell et al. 2018, Zhang et al. 2017).  This module provides
+the collectives that design needs -- ``allreduce_sum``, ``allreduce_max``,
+``allgather``, ``broadcast``, ``barrier`` -- behind one SPMD abstraction
+with two interchangeable backends:
+
+``SimulatedCollective`` (``backend="sim"``)
+    Ranks run on threads but every collective is a *rendezvous*: all ranks
+    deposit, synchronize, and then each computes the reduction locally in
+    rank order (deterministic; exact for the int64 payloads the trainer
+    moves).  Communication cost is charged to each rank's
+    :class:`~repro.gpusim.kernel.GpuDevice` ledger using ring-step
+    accounting -- a ring allreduce of ``B`` bytes across ``W`` ranks costs
+    every rank ``2(W-1)`` steps of ``B/W`` bytes over its link -- so the
+    cost model produces a modeled scaling curve.
+
+``ThreadedCollective`` (``backend="threaded"``)
+    A real message-passing implementation: per-ring-edge FIFO queues between
+    in-process worker threads, a genuine ring reduce-scatter + allgather for
+    ``allreduce_sum``, ring block rotation for ``allgather``, and a chain
+    relay for ``broadcast``.  Collectives are exercised under true
+    concurrency; blocked-receive time is measured as wait seconds.
+
+Link cost is expressed in "equivalent PCIe bytes": one
+:class:`~repro.gpusim.kernel.Transfer` is recorded per collective whose
+byte count is chosen so the roofline cost model reproduces ``steps *
+link.latency_s + bytes / link.bandwidth``.  The *true* payload bytes are
+what the obs counters (``collective_bytes_total`` etc.) and per-rank
+:class:`CollectiveStats` report.
+
+Fault injection lives here because faults *manifest* in the comms layer: a
+:class:`FaultPlan` can kill a rank at a round boundary (``WorkerCrash``;
+surviving ranks observe ``WorkerFailure`` at their next collective) or
+stall a straggler rank.  :func:`run_spmd` is the driver: it spawns one
+thread per rank, runs the same function everywhere, and converts a crashed
+world into a single :class:`WorkerFailure` naming the failed ranks so the
+caller can reshard and retry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import time
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..gpusim.costmodel import PCIE_LATENCY_S
+from ..gpusim.device import DeviceSpec, TITAN_X_PASCAL
+from ..gpusim.kernel import GpuDevice
+from ..obs import get_registry, span
+
+__all__ = [
+    "Collective",
+    "CollectiveStats",
+    "FaultPlan",
+    "LinkSpec",
+    "SimulatedCollective",
+    "ThreadedCollective",
+    "WorkerCrash",
+    "WorkerFailure",
+    "run_spmd",
+]
+
+#: seconds a threaded receive waits between checks of the failure flag
+_RECV_POLL_S = 0.05
+
+#: give up a threaded receive entirely after this long (a deadlocked test
+#: should fail loudly, not hang the suite)
+_RECV_TIMEOUT_S = 60.0
+
+
+class WorkerCrash(RuntimeError):
+    """Raised *inside* the rank that an injected fault kills."""
+
+    def __init__(self, rank: int, round_: int) -> None:
+        super().__init__(f"worker {rank} crashed (injected fault, round {round_})")
+        self.rank = rank
+        self.round = round_
+
+
+class WorkerFailure(RuntimeError):
+    """Raised in surviving ranks (and by :func:`run_spmd`) when peers died."""
+
+    def __init__(self, failed_ranks) -> None:
+        ranks = frozenset(int(r) for r in failed_ranks)
+        super().__init__(f"worker(s) {sorted(ranks)} failed")
+        self.failed_ranks = ranks
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkSpec:
+    """Per-link bandwidth/latency of the interconnect between ranks."""
+
+    bandwidth_gbs: float = 12.0
+    latency_s: float = PCIE_LATENCY_S
+
+    @classmethod
+    def for_spec(cls, spec: DeviceSpec) -> "LinkSpec":
+        """A link matching the device's PCIe (the single-node default)."""
+        return cls(bandwidth_gbs=spec.pcie_bandwidth_gbs, latency_s=PCIE_LATENCY_S)
+
+
+@dataclasses.dataclass
+class FaultPlan:
+    """Injectable faults, triggered at round-boundary fault points.
+
+    ``kill_rank`` raises :class:`WorkerCrash` in that rank when it reaches
+    the fault point of ``kill_round``.  ``straggler_rank`` stalls that rank
+    by ``straggler_delay_s`` at every round's fault point (or only at
+    ``straggler_round`` if given): real ``sleep`` under the threaded
+    backend, a modeled link stall under the simulated one.
+    """
+
+    kill_rank: Optional[int] = None
+    kill_round: int = 0
+    straggler_rank: Optional[int] = None
+    straggler_delay_s: float = 0.0
+    straggler_round: Optional[int] = None
+
+
+@dataclasses.dataclass
+class CollectiveStats:
+    """Per-rank communication totals (true payload bytes, not modeled)."""
+
+    bytes_total: float = 0.0
+    steps_total: int = 0
+    wait_s: float = 0.0
+    ops: int = 0
+
+
+class _World:
+    """State shared by all ranks of one SPMD run."""
+
+    def __init__(self, world_size: int) -> None:
+        self.world_size = world_size
+        self.barrier = threading.Barrier(world_size)
+        self.slots: List[Any] = [None] * world_size
+        self.queues = [queue.Queue() for _ in range(world_size)]
+        self.failed: set[int] = set()
+        self.fail_event = threading.Event()
+        self.lock = threading.Lock()
+
+    def fail(self, rank: int) -> None:
+        """Mark ``rank`` dead and wake every blocked peer."""
+        with self.lock:
+            self.failed.add(int(rank))
+        self.fail_event.set()
+        self.barrier.abort()
+
+    def failed_snapshot(self) -> frozenset:
+        with self.lock:
+            return frozenset(self.failed)
+
+
+class Collective:
+    """One rank's handle on the world: SPMD collectives + fault points.
+
+    Subclasses implement the five collectives; payloads the trainer moves
+    are int64/float64 ndarrays (reductions) or small picklable objects
+    (allgather/broadcast of sketches and models).
+    """
+
+    backend = "abstract"
+
+    def __init__(
+        self,
+        world: _World,
+        rank: int,
+        device: Optional[GpuDevice],
+        link: LinkSpec,
+        faults: Optional[FaultPlan],
+    ) -> None:
+        self.world = world
+        self.rank = int(rank)
+        self.device = device
+        self.link = link
+        self.faults = faults
+        self.stats = CollectiveStats()
+
+    @property
+    def world_size(self) -> int:
+        return self.world.world_size
+
+    # -------------------------------------------------------------- faults
+    def fault_point(self, round_: int) -> None:
+        """Trigger any injected fault scheduled for this rank/round."""
+        f = self.faults
+        if f is None:
+            return
+        if (
+            f.straggler_rank == self.rank
+            and f.straggler_delay_s > 0
+            and (f.straggler_round is None or f.straggler_round == round_)
+        ):
+            self._stall(f.straggler_delay_s)
+        if f.kill_rank == self.rank and f.kill_round == round_:
+            self.world.fail(self.rank)
+            raise WorkerCrash(self.rank, round_)
+
+    def _stall(self, seconds: float) -> None:
+        raise NotImplementedError
+
+    # ----------------------------------------------------------- accounting
+    def _charge(self, op: str, nbytes: float, steps: int) -> None:
+        """Record true payload traffic and (if a device is attached) the
+        modeled link time as equivalent PCIe bytes."""
+        self.stats.bytes_total += nbytes
+        self.stats.steps_total += steps
+        self.stats.ops += 1
+        reg = get_registry()
+        reg.counter(
+            "collective_bytes_total",
+            "payload bytes moved by collective ops (per rank)",
+            backend=self.backend, op=op,
+        ).inc(nbytes)
+        reg.counter(
+            "collective_steps_total",
+            "ring/chain steps executed by collective ops (per rank)",
+            backend=self.backend, op=op,
+        ).inc(steps)
+        if self.device is not None and steps > 0:
+            self.device.transfer(
+                f"collective_{op}", self._equiv_bytes(nbytes, steps), scale=False
+            )
+
+    def _equiv_bytes(self, nbytes: float, steps: int) -> float:
+        """PCIe byte count whose modeled time equals ``steps * latency +
+        nbytes / bandwidth`` over this rank's link."""
+        pcie_bps = self.device.spec.pcie_bandwidth_gbs * 1e9
+        link_bps = self.link.bandwidth_gbs * 1e9
+        lat = max(0.0, steps * self.link.latency_s - PCIE_LATENCY_S)
+        return lat * pcie_bps + nbytes * (pcie_bps / link_bps)
+
+    def _note_wait(self, op: str, seconds: float) -> None:
+        if seconds <= 0:
+            return
+        self.stats.wait_s += seconds
+        get_registry().counter(
+            "collective_wait_seconds_total",
+            "time ranks spent blocked or stalled in collectives",
+            backend=self.backend, op=op,
+        ).inc(seconds)
+
+    # ----------------------------------------------------------- interface
+    def allreduce_sum(self, arr: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def allreduce_max(self, arr: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def allgather(self, obj: Any, nbytes: Optional[float] = None) -> List[Any]:
+        raise NotImplementedError
+
+    def broadcast(self, obj: Any, root: int = 0, nbytes: Optional[float] = None) -> Any:
+        raise NotImplementedError
+
+    def barrier(self) -> None:
+        raise NotImplementedError
+
+
+def _payload_bytes(obj: Any, hint: Optional[float]) -> float:
+    if hint is not None:
+        return float(hint)
+    if isinstance(obj, np.ndarray):
+        return float(obj.nbytes)
+    return 64.0  # small control message
+
+
+class SimulatedCollective(Collective):
+    """Rendezvous collectives with modeled ring-step link cost.
+
+    Results are computed identically on every rank by reducing the deposited
+    contributions in rank order, so the backend is deterministic by
+    construction; the gpusim ledger carries the comm cost.
+    """
+
+    backend = "sim"
+
+    # ------------------------------------------------------------ exchange
+    def _wait_rendezvous(self) -> None:
+        try:
+            self.world.barrier.wait()
+        except threading.BrokenBarrierError:
+            raise WorkerFailure(self.world.failed_snapshot()) from None
+
+    def _exchange(self, payload: Any) -> List[Any]:
+        """All ranks deposit, then all ranks see every deposit."""
+        w = self.world
+        w.slots[self.rank] = payload
+        self._wait_rendezvous()  # everyone deposited
+        out = list(w.slots)
+        self._wait_rendezvous()  # everyone read; slots reusable
+        return out
+
+    # ---------------------------------------------------------- collectives
+    def allreduce_sum(self, arr: np.ndarray) -> np.ndarray:
+        arr = np.asarray(arr)
+        with span("dist.allreduce_sum", backend=self.backend, nbytes=arr.nbytes):
+            parts = self._exchange(arr)
+            out = np.zeros_like(arr)
+            for part in parts:  # rank order: deterministic (exact for int64)
+                out = out + part
+        W = self.world_size
+        if W > 1:
+            # ring allreduce: 2(W-1) steps of B/W bytes per rank
+            self._charge("allreduce", arr.nbytes * 2 * (W - 1) / W, 2 * (W - 1))
+        return out
+
+    def allreduce_max(self, arr: np.ndarray) -> np.ndarray:
+        arr = np.asarray(arr)
+        with span("dist.allreduce_max", backend=self.backend, nbytes=arr.nbytes):
+            parts = self._exchange(arr)
+            out = parts[0]
+            for part in parts[1:]:  # max is exact and order-independent
+                out = np.maximum(out, part)
+        W = self.world_size
+        if W > 1:
+            self._charge("allreduce", arr.nbytes * 2 * (W - 1) / W, 2 * (W - 1))
+        return np.array(out, copy=True)
+
+    def allgather(self, obj: Any, nbytes: Optional[float] = None) -> List[Any]:
+        own = _payload_bytes(obj, nbytes)
+        with span("dist.allgather", backend=self.backend, nbytes=own):
+            parts = self._exchange((obj, own))
+        W = self.world_size
+        if W > 1:
+            # ring allgather: every rank forwards all blocks but its own
+            total = sum(p[1] for p in parts)
+            self._charge("allgather", total - own, W - 1)
+        return [p[0] for p in parts]
+
+    def broadcast(self, obj: Any, root: int = 0, nbytes: Optional[float] = None) -> Any:
+        with span("dist.broadcast", backend=self.backend):
+            parts = self._exchange((obj, _payload_bytes(obj, nbytes)))
+        out, size = parts[root]
+        if self.world_size > 1:
+            # chain relay: every rank but the tail forwards the payload once
+            self._charge("broadcast", size, 1)
+        return out
+
+    def barrier(self) -> None:
+        with span("dist.barrier", backend=self.backend):
+            self._exchange(None)
+        if self.world_size > 1:
+            self._charge("barrier", 8.0 * (self.world_size - 1), self.world_size - 1)
+
+    def _stall(self, seconds: float) -> None:
+        """Model a straggler as an equivalent link stall on this rank."""
+        if self.device is not None:
+            pcie_bps = self.device.spec.pcie_bandwidth_gbs * 1e9
+            nbytes = max(0.0, seconds - PCIE_LATENCY_S) * pcie_bps
+            self.device.transfer("straggler_stall", nbytes, scale=False)
+        self._note_wait("straggler", seconds)
+
+
+class ThreadedCollective(Collective):
+    """Real ring collectives over per-edge FIFO queues between threads.
+
+    Rank ``r`` sends to ``(r+1) % W`` and receives from ``(r-1) % W``.
+    Every rank executes the same sequence of collectives (SPMD program
+    order) and each edge's queue is FIFO, so messages of consecutive
+    collectives can never be confused even though ranks drift in time.
+    """
+
+    backend = "threaded"
+
+    # ------------------------------------------------------------ messaging
+    def _send(self, payload: Any) -> None:
+        self.world.queues[(self.rank + 1) % self.world_size].put(payload)
+
+    def _recv(self, op: str) -> Any:
+        q = self.world.queues[self.rank]
+        t0 = time.perf_counter()
+        while True:
+            try:
+                msg = q.get(timeout=_RECV_POLL_S)
+                self._note_wait(op, time.perf_counter() - t0)
+                return msg
+            except queue.Empty:
+                if self.world.fail_event.is_set():
+                    self._note_wait(op, time.perf_counter() - t0)
+                    raise WorkerFailure(self.world.failed_snapshot()) from None
+                if time.perf_counter() - t0 > _RECV_TIMEOUT_S:
+                    raise RuntimeError(
+                        f"rank {self.rank}: receive timed out in {op}"
+                    )
+
+    # ---------------------------------------------------------- collectives
+    def allreduce_sum(self, arr: np.ndarray) -> np.ndarray:
+        a = np.asarray(arr)
+        W = self.world_size
+        if W == 1:
+            return a.copy()
+        with span("dist.allreduce_sum", backend=self.backend, nbytes=a.nbytes):
+            flat = a.reshape(-1).copy()
+            chunks: List[np.ndarray] = list(np.array_split(flat, W))
+            sent = 0.0
+            # ring reduce-scatter: after W-1 steps rank r holds the fully
+            # reduced chunk (r+1) % W
+            for step in range(W - 1):
+                send_idx = (self.rank - step) % W
+                recv_idx = (self.rank - step - 1) % W
+                self._send(chunks[send_idx])
+                sent += chunks[send_idx].nbytes
+                incoming = self._recv("allreduce")
+                chunks[recv_idx] = chunks[recv_idx] + incoming
+            # ring allgather of the reduced chunks
+            for step in range(W - 1):
+                send_idx = (self.rank - step + 1) % W
+                self._send(chunks[send_idx])
+                sent += chunks[send_idx].nbytes
+                chunks[(self.rank - step) % W] = self._recv("allreduce")
+            out = np.concatenate([np.asarray(c) for c in chunks])
+        self._charge("allreduce", sent, 2 * (W - 1))
+        return out.reshape(a.shape)
+
+    def allreduce_max(self, arr: np.ndarray) -> np.ndarray:
+        a = np.asarray(arr)
+        if self.world_size == 1:
+            return a.copy()
+        # extrema payloads are tiny: gather-then-reduce over the ring
+        parts = self._ring_allgather(a, a.nbytes, "allreduce")
+        out = np.array(a, copy=True)
+        for _, part, _ in parts:  # max is exact and order-independent
+            out = np.maximum(out, part)
+        return out
+
+    def allgather(self, obj: Any, nbytes: Optional[float] = None) -> List[Any]:
+        own = _payload_bytes(obj, nbytes)
+        if self.world_size == 1:
+            return [obj]
+        with span("dist.allgather", backend=self.backend, nbytes=own):
+            tagged = self._ring_allgather(obj, own, "allgather")
+        out: List[Any] = [None] * self.world_size
+        for rank, payload, _ in tagged:
+            out[rank] = payload
+        return out
+
+    def _ring_allgather(self, obj: Any, own_bytes: float, op: str) -> List[Any]:
+        """Rotate size-tagged blocks around the ring; returns all W blocks."""
+        W = self.world_size
+        cur = (self.rank, obj, float(own_bytes))
+        collected = [cur]
+        sent = 0.0
+        for _ in range(W - 1):
+            self._send(cur)
+            sent += cur[2]
+            cur = self._recv(op)
+            collected.append(cur)
+        self._charge(op, sent, W - 1)
+        return collected
+
+    def broadcast(self, obj: Any, root: int = 0, nbytes: Optional[float] = None) -> Any:
+        W = self.world_size
+        if W == 1:
+            return obj
+        with span("dist.broadcast", backend=self.backend):
+            if self.rank == root:
+                self._send(obj)
+                self._charge("broadcast", _payload_bytes(obj, nbytes), 1)
+                return obj
+            obj = self._recv("broadcast")
+            if (self.rank + 1) % W != root:  # chain relay; tail stops
+                self._send(obj)
+                self._charge("broadcast", _payload_bytes(obj, nbytes), 1)
+            return obj
+
+    def barrier(self) -> None:
+        with span("dist.barrier", backend=self.backend):
+            if self.world_size > 1:
+                self._ring_allgather(None, 8.0, "barrier")
+
+    def _stall(self, seconds: float) -> None:
+        time.sleep(seconds)
+        self._note_wait("straggler", seconds)
+
+
+_BACKENDS = {"sim": SimulatedCollective, "threaded": ThreadedCollective}
+
+
+def run_spmd(
+    world_size: int,
+    fn: Callable[[Collective], Any],
+    *,
+    backend: str = "sim",
+    devices: Optional[Sequence[Optional[GpuDevice]]] = None,
+    spec: DeviceSpec = TITAN_X_PASCAL,
+    link: Optional[LinkSpec] = None,
+    faults: Optional[FaultPlan] = None,
+):
+    """Run ``fn(collective)`` on ``world_size`` rank threads.
+
+    Returns ``(results, collectives)`` with one entry per rank.  If any
+    rank died -- injected :class:`WorkerCrash` or an escaped exception --
+    every surviving rank unblocks with :class:`WorkerFailure`, and after all
+    threads join this raises :class:`WorkerFailure` naming the failed ranks
+    (non-fault exceptions are re-raised as themselves so real bugs are not
+    mistaken for injected faults).
+    """
+    if world_size < 1:
+        raise ValueError("world_size must be >= 1")
+    if backend not in _BACKENDS:
+        raise ValueError(f"backend must be one of {sorted(_BACKENDS)}")
+    world = _World(world_size)
+    if devices is None:
+        devices = [GpuDevice(spec) for _ in range(world_size)]
+    cls = _BACKENDS[backend]
+    colls = [
+        cls(world, r, devices[r], link or LinkSpec.for_spec(spec), faults)
+        for r in range(world_size)
+    ]
+
+    results: List[Any] = [None] * world_size
+    errors: List[Optional[BaseException]] = [None] * world_size
+
+    def target(r: int) -> None:
+        try:
+            results[r] = fn(colls[r])
+        except (WorkerCrash, WorkerFailure) as exc:
+            errors[r] = exc
+        except BaseException as exc:  # a real bug: fail the world, re-raise below
+            errors[r] = exc
+            world.fail(r)
+
+    threads = [
+        threading.Thread(target=target, args=(r,), name=f"dist-w{r}", daemon=True)
+        for r in range(world_size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300.0)
+        if t.is_alive():
+            world.fail(-1)
+            raise RuntimeError(f"{t.name} did not finish (deadlock?)")
+
+    for err in errors:
+        if err is not None and not isinstance(err, (WorkerCrash, WorkerFailure)):
+            raise err
+    failed = world.failed_snapshot()
+    if failed:
+        raise WorkerFailure(failed)
+    return results, colls

@@ -46,8 +46,19 @@ from ..data.rle import decide_compression, encode_segments
 from ..data.sorted_columns import build_sorted_columns
 from ..gpusim.device import TITAN_X_PASCAL, DeviceSpec
 from ..gpusim.kernel import GpuDevice
+from ..obs import get_registry, span
 
 __all__ = ["MultiGpuGBDTTrainer"]
+
+
+def _comm(trainer: str, op: str, nbytes: float) -> None:
+    """Count inter-device payload bytes next to the ledger charge."""
+    get_registry().counter(
+        "comm_bytes_total",
+        "inter-device communication payload bytes",
+        trainer=trainer,
+        op=op,
+    ).inc(float(nbytes))
 
 
 class _Shard:
@@ -150,14 +161,22 @@ class MultiGpuGBDTTrainer:
         )
 
         trees: List[DecisionTree] = []
-        for _ in range(p.n_trees):
-            with self.devices[0].phase("gradients"):
-                g, h = gc.compute()
-            for dev in self.devices[1:]:
-                dev.transfer("broadcast_gradients", n * 16 * self.row_scale, scale=False)
-            tree = self._grow_tree(shards, X, g, h, gc)
-            gc.on_tree_finished(tree)
-            trees.append(tree)
+        for round_ in range(p.n_trees):
+            with span(
+                "multigpu.boost_round", round=round_, devices=k, rle=self.used_rle
+            ):
+                with self.devices[0].phase("gradients"):
+                    g, h = gc.compute()
+                for dev in self.devices[1:]:
+                    dev.transfer(
+                        "broadcast_gradients", n * 16 * self.row_scale, scale=False
+                    )
+                    _comm(
+                        "multigpu", "broadcast_gradients", n * 16 * self.row_scale
+                    )
+                tree = self._grow_tree(shards, X, g, h, gc)
+                gc.on_tree_finished(tree)
+                trees.append(tree)
         return GBDTModel(trees=trees, params=p, base_score=p.loss_fn.base_score(y))
 
     # ---------------------------------------------------------------- helpers
@@ -245,6 +264,9 @@ class MultiGpuGBDTTrainer:
                 shard.device.transfer(
                     "allreduce_best_splits", n_active * 64 * (k - 1), scale=False
                 )
+                _comm(
+                    "multigpu", "allreduce_best_splits", n_active * 64 * (k - 1)
+                )
 
             split_mask = (win_dev >= 0) & (win_gain > p.gamma)
 
@@ -319,6 +341,9 @@ class MultiGpuGBDTTrainer:
                 )
                 shard.device.transfer(
                     "broadcast_side_array", n * self.row_scale * (k - 1), scale=False
+                )
+                _comm(
+                    "multigpu", "broadcast_side_array", n * self.row_scale * (k - 1)
                 )
             inst2local = np.where(active, new_local_of[safe] + side_inst, -1)
 

@@ -40,10 +40,11 @@ from ..core.tree import DecisionTree
 from ..data.matrix import CSRMatrix
 from ..data.rle import decide_compression, encode_segments
 from ..data.sorted_columns import build_sorted_columns
-from ..ext.multigpu import MultiGpuGBDTTrainer, _Shard
+from ..ext.multigpu import MultiGpuGBDTTrainer, _comm, _Shard
 from ..gpusim.device import TITAN_X_PASCAL, DeviceSpec
 from ..gpusim.kernel import GpuDevice
 from ..gpusim.memory import DeviceOutOfMemory
+from ..obs import span
 
 __all__ = ["OutOfCoreGBDTTrainer", "plan_column_groups"]
 
@@ -169,12 +170,18 @@ class OutOfCoreGBDTTrainer:
         )
 
         trees: List[DecisionTree] = []
-        for _ in range(p.n_trees):
-            with device.phase("gradients"):
-                g, h = gc.compute()
-            tree = self._grow_tree(shards, X, g, h, gc)
-            gc.on_tree_finished(tree)
-            trees.append(tree)
+        for round_ in range(p.n_trees):
+            with span(
+                "outofcore.boost_round",
+                round=round_,
+                groups=self.n_groups_,
+                rle=self.used_rle,
+            ):
+                with device.phase("gradients"):
+                    g, h = gc.compute()
+                tree = self._grow_tree(shards, X, g, h, gc)
+                gc.on_tree_finished(tree)
+                trees.append(tree)
         return GBDTModel(trees=trees, params=p, base_score=p.loss_fn.base_score(y))
 
     # ----------------------------------------------------------------- level
@@ -213,6 +220,7 @@ class OutOfCoreGBDTTrainer:
             for shard in shards:
                 with device.phase("find_split"):
                     device.transfer("stream_group_in", self._group_bytes(shard))
+                    _comm("outofcore", "stream_group_in", self._group_bytes(shard))
                     if self.used_rle:
                         b = find_best_splits_rle(
                             device, shard.rle, shard.inst, shard.layout,
@@ -230,6 +238,7 @@ class OutOfCoreGBDTTrainer:
                     device.transfer(
                         "download_group_winners", n_active * 64, direction="d2h", scale=False
                     )
+                    _comm("outofcore", "download_group_winners", n_active * 64)
                 bests.append(b)
 
             # 2. combine winners on the host (strict gain, lowest global attr)
@@ -332,6 +341,7 @@ class OutOfCoreGBDTTrainer:
                 )
                 with device.phase("split_node"):
                     device.transfer("stream_group_in", self._group_bytes(shard))
+                    _comm("outofcore", "stream_group_in", self._group_bytes(shard))
                     dest, new_offsets = partition_segments(
                         device, shard.layout.offsets, side_ent,
                         left_seg, right_seg, 2 * kk * d_dev, plan,
@@ -360,6 +370,7 @@ class OutOfCoreGBDTTrainer:
                     device.transfer(
                         "stream_group_out", self._group_bytes(shard), direction="d2h"
                     )
+                    _comm("outofcore", "stream_group_out", self._group_bytes(shard))
 
             lg = np.array([bests[win_grp[loc]].left_g[loc] for loc in split_locals])
             lh = np.array([bests[win_grp[loc]].left_h[loc] for loc in split_locals])
