@@ -12,12 +12,12 @@ pytest-benchmark columns report.
 
 ``--quick-bench`` shrinks datasets for CI-speed smoke runs.
 
-Each benchmark also emits its numeric results as a JSONL metrics file
-(``BENCH_<name>.jsonl``) through the shared observability registry
-(:mod:`repro.obs`), so per-run numbers can be diffed across commits without
-scraping the printed tables.  Files land in the standard bench output
-location (:mod:`repro.bench.output`): ``$BENCH_METRICS_DIR`` when set,
-otherwise the repository root.
+Each benchmark also emits its numeric results as a structured
+``BENCH_<name>.json`` document (:mod:`repro.bench.output`), the format the
+run store consumes (``python -m repro runs submit --bench <name>``), so
+per-run numbers can be diffed and gated across commits without scraping the
+printed tables.  Files land in the standard bench output location:
+``$BENCH_METRICS_DIR`` when set, otherwise the repository root.
 """
 
 from pathlib import Path
@@ -39,43 +39,28 @@ def quick(request) -> bool:
     return request.config.getoption("--quick-bench")
 
 
-def _numeric_leaves(payload, prefix=""):
-    """Yield ``(dotted.path, float)`` for every numeric leaf of a payload."""
-    if isinstance(payload, bool):
-        yield prefix, float(payload)
-    elif isinstance(payload, (int, float)):
-        yield prefix, float(payload)
-    elif isinstance(payload, dict):
-        for k in sorted(payload):
-            sub = f"{prefix}.{k}" if prefix else str(k)
-            yield from _numeric_leaves(payload[k], sub)
-    elif isinstance(payload, (list, tuple)):
-        for i, v in enumerate(payload):
-            sub = f"{prefix}.{i}" if prefix else str(i)
-            yield from _numeric_leaves(v, sub)
-    # strings / None / everything else: not a metric
-
-
 def emit_bench_metrics(result, name: str) -> Path:
-    """Flatten ``result``'s numeric fields into gauges and write them as
-    ``BENCH_<name>.jsonl`` via the obs registry; returns the file path."""
-    from repro.bench.output import bench_output_dir
-    from repro.bench.regress import to_payload
-    from repro.obs import MetricsRegistry, write_jsonl
+    """Write ``result`` as the structured ``BENCH_<name>.json`` document the
+    run store consumes; returns the file path.  Results that render their
+    own payload (``.payload()``) keep their phase breakdown; anything else
+    goes through :func:`repro.bench.regress.to_payload`."""
+    import dataclasses
 
-    registry = MetricsRegistry(max_label_sets=8192)
-    for key, value in _numeric_leaves(to_payload(result)):
-        registry.gauge(
-            "bench_value", "flattened benchmark scalar", bench=name, key=key
-        ).set(value)
-    path = bench_output_dir() / f"BENCH_{name}.jsonl"
-    write_jsonl(path, registry=registry)
-    return path
+    from repro.bench.output import write_bench_json
+    from repro.bench.regress import to_payload
+
+    if hasattr(result, "payload") and callable(result.payload):
+        payload = result.payload()
+    elif dataclasses.is_dataclass(result) and not isinstance(result, type):
+        payload = to_payload(dataclasses.asdict(result))
+    else:
+        payload = to_payload(result)
+    return write_bench_json(name, payload)
 
 
 def print_result(result, header: str, bench: str | None = None) -> None:
     """Echo an experiment's table under a visible banner; when ``bench`` is
-    given, also emit the run's numbers as a JSONL metrics file."""
+    given, also emit the run's numbers as a ``BENCH_<bench>.json`` file."""
     bar = "=" * 72
     print(f"\n{bar}\n{header}\n{bar}")
     print(result.text)

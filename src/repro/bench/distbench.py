@@ -33,6 +33,7 @@ from ..approx.histogram_trainer import HistogramGBDTTrainer
 from ..core.params import GBDTParams
 from ..dist import DistributedHistTrainer
 from ..ext.multigpu import MultiGpuGBDTTrainer
+from ..gpusim.timeline import profile
 from .hotpath import make_hotpath_data
 
 __all__ = [
@@ -88,6 +89,9 @@ class DistBenchResult:
     n_rows: int
     n_cols: int
     n_trees: int
+    #: modeled seconds per training phase on the largest scaling run's
+    #: slowest rank (regression attribution for the run-store gate)
+    phases: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     @property
     def text(self) -> str:
@@ -129,6 +133,7 @@ def run_dist_bench(quick: bool = False) -> DistBenchResult:
     worker_counts = (1, 2) if quick else (1, 2, 4, 8)
     scaling: List[ScalingRow] = []
     base_s = None
+    phases: Dict[str, float] = {}
     for w in worker_counts:
         trainer = DistributedHistTrainer(
             params, n_workers=w, max_bins=_MAX_BINS, backend="sim",
@@ -148,6 +153,9 @@ def run_dist_bench(quick: bool = False) -> DistBenchResult:
                 identical_model=model.to_json() == reference,
             )
         )
+        # phase attribution from the largest run's slowest (critical) rank
+        slowest = max(trainer.devices_, key=lambda d: d.elapsed_seconds())
+        phases = {s.phase: s.seconds for s in profile(slowest)}
 
     layouts: List[LayoutRow] = []
     k = 2 if quick else 4
@@ -185,6 +193,7 @@ def run_dist_bench(quick: bool = False) -> DistBenchResult:
         n_rows=cfg["n_rows"],
         n_cols=cfg["n_cols"],
         n_trees=cfg["n_trees"],
+        phases=phases,
     )
 
 

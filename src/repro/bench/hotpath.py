@@ -47,6 +47,8 @@ import numpy as np
 from ..core.params import GBDTParams
 from ..core.trainer import GPUGBDTTrainer
 from ..data.matrix import CSRMatrix
+from ..obs import Tracer, use_tracer
+from ..obs.runstore import PHASES
 
 __all__ = [
     "HOTPATH_WORKLOADS",
@@ -122,6 +124,9 @@ class WorkloadResult:
     identical_models: bool
     arena_reserved_bytes: int
     arena_buffers: int
+    #: per-fit mean wall seconds in each training phase during the arena-on
+    #: repeats (the run store's gate attributes regressions to these)
+    phases: Dict[str, float] = dataclasses.field(default_factory=dict)
 
 
 @dataclasses.dataclass
@@ -148,6 +153,20 @@ class HotpathResult:
                 return r
         raise KeyError(workload)
 
+    def payload(self) -> Dict:
+        """The ``BENCH_hotpath.json`` document: per-workload rows plus a
+        top-level phase breakdown (summed across workloads) that the run
+        store's gate uses for regression attribution."""
+        from .regress import to_payload
+
+        # asdict first: to_payload's cleaner keeps scalars/containers only
+        # and would silently drop the nested WorkloadResult dataclasses
+        doc = to_payload(dataclasses.asdict(self))
+        doc["phases"] = {
+            p: sum(r.phases.get(p, 0.0) for r in self.rows) for p in PHASES
+        }
+        return doc
+
 
 def _time_fit(params, X, y, use_arena: bool, repeats: int):
     """Best-of-``repeats`` wall-clock fit time (best-of defeats scheduler
@@ -169,7 +188,13 @@ def run_workload(spec: WorkloadSpec, repeats: int = 3) -> WorkloadResult:
     X, y = make_hotpath_data(spec.n_rows, spec.n_cols)
     params = spec.params()
     off_s, off_model, _ = _time_fit(params, X, y, use_arena=False, repeats=repeats)
-    on_s, on_model, on_tr = _time_fit(params, X, y, use_arena=True, repeats=repeats)
+    # a private tracer around the arena-on repeats captures the phase spans
+    # the trainer emits; reported per fit so they compare against arena_on_s
+    tracer = Tracer()
+    with use_tracer(tracer):
+        on_s, on_model, on_tr = _time_fit(params, X, y, use_arena=True, repeats=repeats)
+    n_fits = max(1, repeats)
+    phases = {p: tracer.total_time(p) / n_fits for p in PHASES}
     identical = off_model.to_json() == on_model.to_json()
     return WorkloadResult(
         workload=spec.name,
@@ -180,6 +205,7 @@ def run_workload(spec: WorkloadSpec, repeats: int = 3) -> WorkloadResult:
         identical_models=identical,
         arena_reserved_bytes=on_tr.workspace.reserved_bytes,
         arena_buffers=on_tr.workspace.n_buffers,
+        phases=phases,
     )
 
 
@@ -199,14 +225,12 @@ def write_hotpath_json(result: HotpathResult, path: str | Path | None = None) ->
     (:func:`repro.bench.output.bench_output_path`).
     """
     from .output import bench_output_path
-    from .regress import to_payload
 
     path = Path(path) if path is not None else bench_output_path("hotpath")
     path.parent.mkdir(parents=True, exist_ok=True)
-    # asdict first: to_payload's cleaner keeps scalars/containers only and
-    # would silently drop the nested WorkloadResult dataclasses
-    payload = to_payload(dataclasses.asdict(result))
-    path.write_text(json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8")
+    path.write_text(
+        json.dumps(result.payload(), indent=1, sort_keys=True), encoding="utf-8"
+    )
     return path
 
 

@@ -32,13 +32,25 @@ def bench_output_dir() -> Path:
 
 def bench_output_path(name: str) -> Path:
     """``BENCH_<name>.json`` inside :func:`bench_output_dir`."""
+    if name.endswith(".jsonl") or name.endswith(".json"):
+        raise ValueError(
+            f"bench name must be bare (got {name!r}); the extension is fixed"
+        )
     return bench_output_dir() / f"BENCH_{name}.json"
 
 
 def write_bench_json(name: str, payload: Any) -> Path:
-    """Write ``payload`` as ``BENCH_<name>.json``; returns the path."""
+    """Write ``payload`` as ``BENCH_<name>.json``; returns the path.
+
+    Also removes any stale ``BENCH_<name>.jsonl`` sibling: the ``.jsonl``
+    variant was retired (PR 5 standardized on one structured ``.json``
+    document per bench) and must never linger next to fresh results.
+    """
     path = bench_output_path(name)
     path.parent.mkdir(parents=True, exist_ok=True)
+    stale = path.with_suffix(".jsonl")
+    if stale.exists():
+        stale.unlink()
     path.write_text(
         json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8"
     )

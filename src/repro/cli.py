@@ -10,8 +10,12 @@ Usage::
     python -m repro all               # everything
     python -m repro table2 --quick    # tiny smoke-scale run
     python -m repro obs report        # instrumented run + phase breakdown
+    python -m repro obs history       # trend report over the run store
     python -m repro pipeline demo     # continual-training loop on a stream
     python -m repro dist demo         # row-sharded data-parallel training
+    python -m repro runs submit       # record a BENCH_*.json into the store
+    python -m repro runs diff -2 -1   # per-metric deltas between two runs
+    python -m repro runs gate         # rolling-baseline perf regression gate
 
 ``gpu-gbdt`` (the installed console script) is an alias for ``python -m
 repro``.
@@ -157,6 +161,12 @@ def _dist_main(argv: list[str]) -> int:
         default=None,
         help="checkpoint directory (a fresh temp dir when killing a worker)",
     )
+    demo.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="export the merged per-rank Chrome trace (open at ui.perfetto.dev)",
+    )
     args = parser.parse_args(argv)
 
     from .dist.demo import run_dist_demo
@@ -171,6 +181,7 @@ def _dist_main(argv: list[str]) -> int:
         straggler=args.straggler,
         straggler_delay_s=args.straggler_delay,
         ckpt_dir=args.ckpt_dir,
+        trace_path=args.trace,
     )
     print(result.text)
     return 0 if result.matches_single else 1
@@ -209,7 +220,46 @@ def _obs_main(argv: list[str]) -> int:
         default=None,
         help="export metrics in Prometheus text format",
     )
+    history = sub.add_parser(
+        "history", help="trend report over the benchmark run store"
+    )
+    history.add_argument(
+        "--store", metavar="DIR", default=None, help="run-store root (default results/runs)"
+    )
+    history.add_argument(
+        "--bench", action="append", default=None, help="bench name(s) (default: all)"
+    )
+    history.add_argument(
+        "--window", type=int, default=20, help="runs shown per bench (default 20)"
+    )
+    history.add_argument(
+        "--all", action="store_true", help="include non-directional metrics"
+    )
+    history.add_argument(
+        "--html",
+        metavar="FILE",
+        default=None,
+        help="also write a self-contained HTML report with sparklines",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "history":
+        from pathlib import Path
+
+        from .obs.history import build_history
+        from .obs.runstore import RunStore
+
+        store = RunStore(args.store)
+        rep = build_history(
+            store, args.bench, window=args.window, all_metrics=args.all
+        )
+        print(rep.text)
+        if args.html:
+            out = Path(args.html)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(rep.html(), encoding="utf-8")
+            print(f"[html report -> {out}]")
+        return 0
 
     from .obs.report import run_obs_report
 
@@ -225,6 +275,125 @@ def _obs_main(argv: list[str]) -> int:
     return 0
 
 
+def _runs_main(argv: list[str]) -> int:
+    """``gpu-gbdt runs {submit,list,diff,gate}``: the benchmark run store."""
+    import json
+    import os
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(
+        prog="gpu-gbdt runs",
+        description="Append-only benchmark run store: submit BENCH_*.json "
+        "results, list/diff runs across commits, gate against a rolling baseline.",
+    )
+    parser.add_argument(
+        "--store", metavar="DIR", default=None, help="run-store root (default results/runs)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_submit = sub.add_parser("submit", help="record a benchmark result file")
+    p_submit.add_argument(
+        "--bench", default="hotpath", help="bench name (default hotpath)"
+    )
+    p_submit.add_argument(
+        "--file",
+        metavar="JSON",
+        default=None,
+        help="result payload (default: BENCH_<bench>.json at the standard location)",
+    )
+    p_submit.add_argument("--note", default="", help="free-form annotation")
+
+    p_list = sub.add_parser("list", help="list submitted runs")
+    p_list.add_argument("--bench", default=None, help="bench name (default: all)")
+    p_list.add_argument("-n", type=int, default=10, help="newest N runs (default 10)")
+
+    p_diff = sub.add_parser("diff", help="per-metric deltas between two runs")
+    p_diff.add_argument("old", nargs="?", default="-2", help="run id or index (default -2)")
+    p_diff.add_argument("new", nargs="?", default="-1", help="run id or index (default -1)")
+    p_diff.add_argument("--bench", default="hotpath", help="bench name (default hotpath)")
+    p_diff.add_argument(
+        "--all", action="store_true", help="show unchanged-direction metrics too"
+    )
+
+    p_gate = sub.add_parser(
+        "gate", help="regression-check the newest run vs the rolling baseline"
+    )
+    p_gate.add_argument("--bench", default="hotpath", help="bench name (default hotpath)")
+    p_gate.add_argument("--window", type=int, default=5, help="baseline run count")
+    p_gate.add_argument(
+        "--rel-tol", type=float, default=0.25, help="relative tolerance (default 0.25)"
+    )
+    p_gate.add_argument(
+        "--abs-tol", type=float, default=1e-4, help="absolute tolerance floor"
+    )
+    args = parser.parse_args(argv)
+
+    from .obs.runstore import RunStore
+
+    store = RunStore(args.store)
+
+    if args.command == "submit":
+        if args.file is not None:
+            path = Path(args.file)
+        else:
+            from .bench.output import bench_output_path
+
+            path = bench_output_path(args.bench)
+        if not path.is_file():
+            print(f"ERROR: no result file at {path} -- run the bench first")
+            return 2
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        rec = store.submit(args.bench, payload, note=args.note)
+        print(f"[submitted {args.bench} run {rec.run_id} -> {rec.path}]")
+        return 0
+
+    if args.command == "list":
+        benches = [args.bench] if args.bench else store.benches()
+        if not benches:
+            print("run store is empty")
+            return 0
+        for bench in benches:
+            runs = store.latest(bench, args.n)
+            print(f"bench: {bench} ({len(store.runs(bench))} total)")
+            for r in runs:
+                import datetime
+
+                when = datetime.datetime.fromtimestamp(
+                    r.timestamp, datetime.timezone.utc
+                ).strftime("%Y-%m-%d %H:%M")
+                note = f"  # {r.note}" if r.note else ""
+                print(f"  {r.run_id}  {when}  commit {r.short_commit}{note}")
+        return 0
+
+    if args.command == "diff":
+        old = store.get(args.bench, args.old)
+        new = store.get(args.bench, args.new)
+        deltas = store.diff(old, new)
+        print(f"diff[{args.bench}]: {old.run_id} -> {new.run_id}")
+        shown = 0
+        for d in deltas:
+            if d.direction is None and not args.all:
+                continue
+            print(f"  {d}")
+            shown += 1
+        if not shown:
+            print("  (no directional metrics moved)")
+        return 0
+
+    # gate
+    if os.environ.get("REPRO_SKIP_PERF") == "1":
+        print(f"gate[{args.bench}]: SKIPPED (REPRO_SKIP_PERF=1)")
+        return 0
+    report = store.gate(
+        args.bench,
+        window=args.window,
+        rel_tol=args.rel_tol,
+        abs_tol=args.abs_tol,
+    )
+    print(report.text)
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
@@ -235,6 +404,8 @@ def main(argv: list[str] | None = None) -> int:
         return _pipeline_main(argv[1:])
     if argv and argv[0] == "dist":
         return _dist_main(argv[1:])
+    if argv and argv[0] == "runs":
+        return _runs_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="gpu-gbdt",
         description="Regenerate the tables and figures of 'Efficient Gradient "

@@ -46,18 +46,19 @@ import dataclasses
 import queue
 import threading
 import time
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..gpusim.costmodel import PCIE_LATENCY_S
 from ..gpusim.device import DeviceSpec, TITAN_X_PASCAL
 from ..gpusim.kernel import GpuDevice
-from ..obs import get_registry, span
+from ..obs import Tracer, current_tracer, get_registry, get_tracer, use_thread_tracer
 
 __all__ = [
     "Collective",
     "CollectiveStats",
+    "CollectiveTimeout",
     "FaultPlan",
     "LinkSpec",
     "SimulatedCollective",
@@ -85,12 +86,36 @@ class WorkerCrash(RuntimeError):
 
 
 class WorkerFailure(RuntimeError):
-    """Raised in surviving ranks (and by :func:`run_spmd`) when peers died."""
+    """Raised in surviving ranks (and by :func:`run_spmd`) when peers died.
 
-    def __init__(self, failed_ranks) -> None:
+    When raised by :func:`run_spmd`, :attr:`flight_recorder` holds one
+    post-mortem snapshot per rank that captured one (unclosed spans, the
+    last collective op and its lockstep sequence number, accumulated wait
+    seconds) so a hung or crashed world can be diagnosed from the report.
+    """
+
+    def __init__(self, failed_ranks, flight_recorder=None) -> None:
         ranks = frozenset(int(r) for r in failed_ranks)
         super().__init__(f"worker(s) {sorted(ranks)} failed")
         self.failed_ranks = ranks
+        self.flight_recorder: Dict[int, Dict[str, Any]] = dict(flight_recorder or {})
+
+
+class CollectiveTimeout(RuntimeError):
+    """A blocked receive gave up: carries rank, op, and elapsed seconds.
+
+    This is a *real* failure (deadlock, lost peer without a fault event),
+    not an injected fault -- :func:`run_spmd` fails the world and re-raises
+    it as itself so it is never mistaken for a planned :class:`WorkerCrash`.
+    """
+
+    def __init__(self, rank: int, op: str, elapsed_s: float) -> None:
+        super().__init__(
+            f"rank {rank}: receive timed out in {op} after {elapsed_s:.1f}s"
+        )
+        self.rank = int(rank)
+        self.op = op
+        self.elapsed_s = float(elapsed_s)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -134,12 +159,55 @@ class CollectiveStats:
     ops: int = 0
 
 
+class _Rendezvous:
+    """Generation-counted barrier whose ``abort`` is not retroactive.
+
+    ``threading.Barrier.abort()`` breaks *every* thread still inside
+    ``wait()`` -- including threads whose generation already completed but
+    that have not yet been scheduled out of the wait.  Here a crashing rank
+    that races ahead (completes rendezvous k, then aborts at its next fault
+    point) cannot spuriously fail peers still draining rendezvous k: a
+    waiter whose generation advanced returns success regardless of the
+    broken flag, so e.g. rank 0's end-of-round checkpoint always happens
+    when every rank finished the round.  Only incomplete generations break
+    (as :class:`threading.BrokenBarrierError`, matching the stdlib type).
+    """
+
+    def __init__(self, parties: int) -> None:
+        self.parties = parties
+        self.count = 0
+        self.generation = 0
+        self.broken = False
+        self.cond = threading.Condition()
+
+    def wait(self) -> None:
+        with self.cond:
+            if self.broken:
+                raise threading.BrokenBarrierError
+            gen = self.generation
+            self.count += 1
+            if self.count == self.parties:
+                self.count = 0
+                self.generation += 1
+                self.cond.notify_all()
+                return
+            while self.generation == gen and not self.broken:
+                self.cond.wait()
+            if self.generation == gen:  # broke before this generation filled
+                raise threading.BrokenBarrierError
+
+    def abort(self) -> None:
+        with self.cond:
+            self.broken = True
+            self.cond.notify_all()
+
+
 class _World:
     """State shared by all ranks of one SPMD run."""
 
     def __init__(self, world_size: int) -> None:
         self.world_size = world_size
-        self.barrier = threading.Barrier(world_size)
+        self.barrier = _Rendezvous(world_size)
         self.slots: List[Any] = [None] * world_size
         self.queues = [queue.Queue() for _ in range(world_size)]
         self.failed: set[int] = set()
@@ -175,6 +243,10 @@ class Collective:
         device: Optional[GpuDevice],
         link: LinkSpec,
         faults: Optional[FaultPlan],
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+        tracer: Optional[Tracer] = None,
+        recv_timeout_s: float = _RECV_TIMEOUT_S,
     ) -> None:
         self.world = world
         self.rank = int(rank)
@@ -182,10 +254,59 @@ class Collective:
         self.link = link
         self.faults = faults
         self.stats = CollectiveStats()
+        #: injectable time source for wait measurement (deterministic tests)
+        self.clock = clock
+        #: rank-tagged tracer installed by :func:`run_spmd` (None = whatever
+        #: tracer is current on the calling thread)
+        self.tracer = tracer
+        self.recv_timeout_s = float(recv_timeout_s)
+        #: lockstep sequence number: every rank executes the same collective
+        #: program, so op k on rank r pairs with op k on every other rank --
+        #: the merged-trace exporter aligns ranks on it
+        self.seq = 0
+        #: (op name, seq) of the most recent collective this rank entered
+        self.last_op: Optional[tuple] = None
+        #: post-mortem snapshot captured at failure time (flight recorder)
+        self.flight_: Optional[Dict[str, Any]] = None
 
     @property
     def world_size(self) -> int:
         return self.world.world_size
+
+    # -------------------------------------------------------------- tracing
+    def _op_span(self, op: str, **attrs: Any):
+        """Open a rank-tagged span for one collective, stamping the lockstep
+        sequence number and recording it as the last op entered."""
+        self.seq += 1
+        self.last_op = (op, self.seq)
+        tracer = self.tracer if self.tracer is not None else current_tracer()
+        return tracer.span(
+            f"dist.{op}", backend=self.backend, seq=self.seq, **attrs
+        )
+
+    def flight_snapshot(self, reason: str) -> Dict[str, Any]:
+        """Freeze this rank's state for the failure report: the last
+        collective entered (op + lockstep seq), accumulated blocked time,
+        and every span still open on the calling thread."""
+        tracer = self.tracer if self.tracer is not None else current_tracer()
+        now = tracer.clock()
+        snapshot = {
+            "rank": self.rank,
+            "reason": reason,
+            "last_op": self.last_op[0] if self.last_op else None,
+            "seq": self.last_op[1] if self.last_op else 0,
+            "wait_s": self.stats.wait_s,
+            "unclosed": [
+                {
+                    "name": sp.name,
+                    "attrs": dict(sp.attrs),
+                    "elapsed_s": max(0.0, now - sp.t_start),
+                }
+                for sp in tracer.open_spans()
+            ],
+        }
+        self.flight_ = snapshot
+        return snapshot
 
     # -------------------------------------------------------------- faults
     def fault_point(self, round_: int) -> None:
@@ -200,6 +321,7 @@ class Collective:
         ):
             self._stall(f.straggler_delay_s)
         if f.kill_rank == self.rank and f.kill_round == round_:
+            self.flight_snapshot(f"injected kill at round {round_}")
             self.world.fail(self.rank)
             raise WorkerCrash(self.rank, round_)
 
@@ -244,7 +366,7 @@ class Collective:
         get_registry().counter(
             "collective_wait_seconds_total",
             "time ranks spent blocked or stalled in collectives",
-            backend=self.backend, op=op,
+            backend=self.backend, op=op, rank=self.rank,
         ).inc(seconds)
 
     # ----------------------------------------------------------- interface
@@ -287,6 +409,7 @@ class SimulatedCollective(Collective):
         try:
             self.world.barrier.wait()
         except threading.BrokenBarrierError:
+            self.flight_snapshot("rendezvous broken by peer failure")
             raise WorkerFailure(self.world.failed_snapshot()) from None
 
     def _exchange(self, payload: Any) -> List[Any]:
@@ -301,7 +424,7 @@ class SimulatedCollective(Collective):
     # ---------------------------------------------------------- collectives
     def allreduce_sum(self, arr: np.ndarray) -> np.ndarray:
         arr = np.asarray(arr)
-        with span("dist.allreduce_sum", backend=self.backend, nbytes=arr.nbytes):
+        with self._op_span("allreduce_sum", nbytes=arr.nbytes):
             parts = self._exchange(arr)
             out = np.zeros_like(arr)
             for part in parts:  # rank order: deterministic (exact for int64)
@@ -314,7 +437,7 @@ class SimulatedCollective(Collective):
 
     def allreduce_max(self, arr: np.ndarray) -> np.ndarray:
         arr = np.asarray(arr)
-        with span("dist.allreduce_max", backend=self.backend, nbytes=arr.nbytes):
+        with self._op_span("allreduce_max", nbytes=arr.nbytes):
             parts = self._exchange(arr)
             out = parts[0]
             for part in parts[1:]:  # max is exact and order-independent
@@ -326,7 +449,7 @@ class SimulatedCollective(Collective):
 
     def allgather(self, obj: Any, nbytes: Optional[float] = None) -> List[Any]:
         own = _payload_bytes(obj, nbytes)
-        with span("dist.allgather", backend=self.backend, nbytes=own):
+        with self._op_span("allgather", nbytes=own):
             parts = self._exchange((obj, own))
         W = self.world_size
         if W > 1:
@@ -336,7 +459,7 @@ class SimulatedCollective(Collective):
         return [p[0] for p in parts]
 
     def broadcast(self, obj: Any, root: int = 0, nbytes: Optional[float] = None) -> Any:
-        with span("dist.broadcast", backend=self.backend):
+        with self._op_span("broadcast"):
             parts = self._exchange((obj, _payload_bytes(obj, nbytes)))
         out, size = parts[root]
         if self.world_size > 1:
@@ -345,7 +468,7 @@ class SimulatedCollective(Collective):
         return out
 
     def barrier(self) -> None:
-        with span("dist.barrier", backend=self.backend):
+        with self._op_span("barrier"):
             self._exchange(None)
         if self.world_size > 1:
             self._charge("barrier", 8.0 * (self.world_size - 1), self.world_size - 1)
@@ -376,20 +499,27 @@ class ThreadedCollective(Collective):
 
     def _recv(self, op: str) -> Any:
         q = self.world.queues[self.rank]
-        t0 = time.perf_counter()
+        t0 = self.clock()
         while True:
             try:
                 msg = q.get(timeout=_RECV_POLL_S)
-                self._note_wait(op, time.perf_counter() - t0)
+                self._note_wait(op, self.clock() - t0)
                 return msg
             except queue.Empty:
+                elapsed = self.clock() - t0
                 if self.world.fail_event.is_set():
-                    self._note_wait(op, time.perf_counter() - t0)
+                    self._note_wait(op, elapsed)
+                    self.flight_snapshot("receive interrupted by peer failure")
                     raise WorkerFailure(self.world.failed_snapshot()) from None
-                if time.perf_counter() - t0 > _RECV_TIMEOUT_S:
-                    raise RuntimeError(
-                        f"rank {self.rank}: receive timed out in {op}"
-                    )
+                if elapsed > self.recv_timeout_s:
+                    self._note_wait(op, elapsed)
+                    get_registry().counter(
+                        "collective_timeout_total",
+                        "blocked receives that gave up (deadlock suspected)",
+                        backend=self.backend, op=op, rank=self.rank,
+                    ).inc()
+                    self.flight_snapshot(f"receive timed out in {op}")
+                    raise CollectiveTimeout(self.rank, op, elapsed)
 
     # ---------------------------------------------------------- collectives
     def allreduce_sum(self, arr: np.ndarray) -> np.ndarray:
@@ -397,7 +527,7 @@ class ThreadedCollective(Collective):
         W = self.world_size
         if W == 1:
             return a.copy()
-        with span("dist.allreduce_sum", backend=self.backend, nbytes=a.nbytes):
+        with self._op_span("allreduce_sum", nbytes=a.nbytes):
             flat = a.reshape(-1).copy()
             chunks: List[np.ndarray] = list(np.array_split(flat, W))
             sent = 0.0
@@ -425,17 +555,18 @@ class ThreadedCollective(Collective):
         if self.world_size == 1:
             return a.copy()
         # extrema payloads are tiny: gather-then-reduce over the ring
-        parts = self._ring_allgather(a, a.nbytes, "allreduce")
-        out = np.array(a, copy=True)
-        for _, part, _ in parts:  # max is exact and order-independent
-            out = np.maximum(out, part)
+        with self._op_span("allreduce_max", nbytes=a.nbytes):
+            parts = self._ring_allgather(a, a.nbytes, "allreduce")
+            out = np.array(a, copy=True)
+            for _, part, _ in parts:  # max is exact and order-independent
+                out = np.maximum(out, part)
         return out
 
     def allgather(self, obj: Any, nbytes: Optional[float] = None) -> List[Any]:
         own = _payload_bytes(obj, nbytes)
         if self.world_size == 1:
             return [obj]
-        with span("dist.allgather", backend=self.backend, nbytes=own):
+        with self._op_span("allgather", nbytes=own):
             tagged = self._ring_allgather(obj, own, "allgather")
         out: List[Any] = [None] * self.world_size
         for rank, payload, _ in tagged:
@@ -460,7 +591,7 @@ class ThreadedCollective(Collective):
         W = self.world_size
         if W == 1:
             return obj
-        with span("dist.broadcast", backend=self.backend):
+        with self._op_span("broadcast"):
             if self.rank == root:
                 self._send(obj)
                 self._charge("broadcast", _payload_bytes(obj, nbytes), 1)
@@ -472,7 +603,7 @@ class ThreadedCollective(Collective):
             return obj
 
     def barrier(self) -> None:
-        with span("dist.barrier", backend=self.backend):
+        with self._op_span("barrier"):
             if self.world_size > 1:
                 self._ring_allgather(None, 8.0, "barrier")
 
@@ -493,13 +624,23 @@ def run_spmd(
     spec: DeviceSpec = TITAN_X_PASCAL,
     link: Optional[LinkSpec] = None,
     faults: Optional[FaultPlan] = None,
+    tracers: Optional[Sequence[Tracer]] = None,
+    recv_timeout_s: Optional[float] = None,
 ):
     """Run ``fn(collective)`` on ``world_size`` rank threads.
 
-    Returns ``(results, collectives)`` with one entry per rank.  If any
-    rank died -- injected :class:`WorkerCrash` or an escaped exception --
-    every surviving rank unblocks with :class:`WorkerFailure`, and after all
-    threads join this raises :class:`WorkerFailure` naming the failed ranks
+    Returns ``(results, collectives)`` with one entry per rank.  Every rank
+    records its spans into a rank-tagged :class:`~repro.obs.Tracer`
+    (``tracers[r]`` if given, else a fresh one inheriting the process
+    tracer's settings) installed as the thread-local tracer for the rank's
+    thread -- read them back from ``coll.tracer`` and feed them to
+    :func:`repro.obs.export.export_merged_chrome_trace` for a per-rank
+    timeline.
+
+    If any rank died -- injected :class:`WorkerCrash` or an escaped
+    exception -- every surviving rank unblocks with :class:`WorkerFailure`,
+    and after all threads join this raises :class:`WorkerFailure` naming the
+    failed ranks and carrying each rank's flight-recorder snapshot
     (non-fault exceptions are re-raised as themselves so real bugs are not
     mistaken for injected faults).
     """
@@ -510,9 +651,33 @@ def run_spmd(
     world = _World(world_size)
     if devices is None:
         devices = [GpuDevice(spec) for _ in range(world_size)]
+    if tracers is None:
+        parent = get_tracer()
+        tracers = [
+            Tracer(
+                enabled=parent.enabled,
+                clock=parent.clock,
+                max_spans=parent.max_spans,
+                tags={"rank": r},
+            )
+            for r in range(world_size)
+        ]
+    elif len(tracers) != world_size:
+        raise ValueError("tracers must have one entry per rank")
     cls = _BACKENDS[backend]
+    kwargs: Dict[str, Any] = {}
+    if recv_timeout_s is not None:
+        kwargs["recv_timeout_s"] = recv_timeout_s
     colls = [
-        cls(world, r, devices[r], link or LinkSpec.for_spec(spec), faults)
+        cls(
+            world,
+            r,
+            devices[r],
+            link or LinkSpec.for_spec(spec),
+            faults,
+            tracer=tracers[r],
+            **kwargs,
+        )
         for r in range(world_size)
     ]
 
@@ -521,7 +686,9 @@ def run_spmd(
 
     def target(r: int) -> None:
         try:
-            results[r] = fn(colls[r])
+            with use_thread_tracer(tracers[r]):
+                with tracers[r].span("dist.worker", backend=backend):
+                    results[r] = fn(colls[r])
         except (WorkerCrash, WorkerFailure) as exc:
             errors[r] = exc
         except BaseException as exc:  # a real bug: fail the world, re-raise below
@@ -545,5 +712,12 @@ def run_spmd(
             raise err
     failed = world.failed_snapshot()
     if failed:
-        raise WorkerFailure(failed)
+        raise WorkerFailure(
+            failed,
+            flight_recorder={
+                r: colls[r].flight_
+                for r in range(world_size)
+                if colls[r].flight_ is not None
+            },
+        )
     return results, colls

@@ -56,6 +56,7 @@ def run_dist_demo(
     straggler_delay_s: float = 0.01,
     ckpt_dir: Optional[str] = None,
     max_bins: int = 32,
+    trace_path: Optional[str] = None,
 ) -> DistDemoResult:
     """Run the demo; returns the printed report and the model digest."""
     n_trees = trees if trees is not None else (4 if quick else 8)
@@ -131,6 +132,19 @@ def run_dist_demo(
             "  byte-identical to single-process histogram trainer: "
             + ("yes" if matches else "NO -- BUG")
         )
+        for attempt in trainer.attempts_:
+            for rank, flight in sorted(attempt.flight_recorder.items()):
+                lines.append(
+                    f"  flight recorder rank {rank}: {flight['reason']} "
+                    f"(last op {flight['last_op']} seq {flight['seq']}, "
+                    f"{len(flight['unclosed'])} unclosed span(s))"
+                )
+        if trace_path is not None:
+            n_slices = trainer.export_trace(trace_path)
+            lines.append(
+                f"  merged per-rank trace: {n_slices} slices -> {trace_path} "
+                "(open at ui.perfetto.dev)"
+            )
         lines.append(f"DIST_DIGEST {digest}")
 
         return DistDemoResult(

@@ -58,7 +58,8 @@ from ..core.tree import DecisionTree
 from ..data.matrix import CSRMatrix
 from ..gpusim.device import DeviceSpec, TITAN_X_PASCAL
 from ..gpusim.kernel import GpuDevice
-from ..obs import get_registry, span
+from ..obs import Tracer, get_registry, get_tracer, span
+from ..obs.export import export_merged_chrome_trace
 from ..pipeline.checkpoint import CheckpointStore, model_digest
 from .comms import Collective, FaultPlan, LinkSpec, WorkerFailure, run_spmd
 
@@ -162,6 +163,9 @@ class _AttemptReport:
     workers: int
     failed_ranks: List[int]
     resumed_round: int
+    #: per-rank flight-recorder snapshots captured when the attempt failed
+    #: (unclosed spans + last collective op; empty for clean attempts)
+    flight_recorder: dict = dataclasses.field(default_factory=dict)
 
 
 class DistributedHistTrainer:
@@ -208,6 +212,7 @@ class DistributedHistTrainer:
         self.devices_: List[GpuDevice] = []
         self.comm_stats_ = []
         self.attempts_: List[_AttemptReport] = []
+        self.rank_tracers_: List[Tracer] = []
         self.model_: GBDTModel | None = None
 
     # ------------------------------------------------------------------- fit
@@ -257,6 +262,18 @@ class DistributedHistTrainer:
                 )
                 return trainer.fit(X_local, y_local)
 
+            parent = get_tracer()
+            tracers = [
+                Tracer(
+                    enabled=parent.enabled,
+                    clock=parent.clock,
+                    max_spans=parent.max_spans,
+                    tags={"rank": r},
+                )
+                for r in range(workers)
+            ]
+            self.rank_tracers_ = tracers
+
             try:
                 with span(
                     "dist.fit_attempt",
@@ -271,6 +288,7 @@ class DistributedHistTrainer:
                         devices=devices,
                         link=self.link,
                         faults=faults,
+                        tracers=tracers,
                     )
                 self.attempts_.append(_AttemptReport(workers, [], resumed_round))
                 break
@@ -278,7 +296,10 @@ class DistributedHistTrainer:
                 survivors = workers - len(failure.failed_ranks)
                 self.attempts_.append(
                     _AttemptReport(
-                        workers, sorted(failure.failed_ranks), resumed_round
+                        workers,
+                        sorted(failure.failed_ranks),
+                        resumed_round,
+                        flight_recorder=dict(failure.flight_recorder),
                     )
                 )
                 get_registry().counter(
@@ -326,6 +347,20 @@ class DistributedHistTrainer:
 
     def comm_steps(self) -> int:
         return int(sum(s.steps_total for s in self.comm_stats_))
+
+    def wait_seconds(self) -> float:
+        """Blocked-receive time summed over ranks (threaded backend)."""
+        return float(sum(s.wait_s for s in self.comm_stats_))
+
+    def export_trace(self, path) -> int:
+        """Write the last attempt's merged per-rank Chrome trace to ``path``.
+
+        One Perfetto process per rank (pid ``RANK_PID_BASE + rank``),
+        collectives aligned across ranks by lockstep sequence number, so
+        ring imbalance and stragglers are visible in one timeline.  Returns
+        the number of slice events written.
+        """
+        return export_merged_chrome_trace(path, rank_tracers=self.rank_tracers_)
 
     @property
     def recoveries(self) -> int:

@@ -30,6 +30,7 @@ Set ``REPRO_TRACE=0`` to disable span recording process-wide.
 from .export import (
     DEVICE_PID,
     HOST_PID,
+    RANK_PID_BASE,
     export_merged_chrome_trace,
     jsonl_lines,
     merged_chrome_trace_events,
@@ -53,10 +54,12 @@ from .tracer import (
     Span,
     SpanStats,
     Tracer,
+    current_tracer,
     get_tracer,
     set_tracer,
     span,
     traced,
+    use_thread_tracer,
     use_tracer,
 )
 
@@ -70,9 +73,11 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ObsReport",
+    "RANK_PID_BASE",
     "Span",
     "SpanStats",
     "Tracer",
+    "current_tracer",
     "export_merged_chrome_trace",
     "get_registry",
     "get_tracer",
@@ -85,6 +90,7 @@ __all__ = [
     "span",
     "traced",
     "use_registry",
+    "use_thread_tracer",
     "use_tracer",
     "write_jsonl",
     "write_prometheus",

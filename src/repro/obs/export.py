@@ -25,7 +25,7 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from ..gpusim.kernel import GpuDevice
 from ..gpusim.trace import chrome_trace_events
@@ -35,6 +35,7 @@ from .tracer import Tracer
 __all__ = [
     "HOST_PID",
     "DEVICE_PID",
+    "RANK_PID_BASE",
     "jsonl_lines",
     "write_jsonl",
     "prometheus_text",
@@ -47,6 +48,8 @@ __all__ = [
 HOST_PID = 1
 #: pid of the modeled-device track in the merged trace
 DEVICE_PID = 2
+#: rank ``r`` of a distributed run gets pid ``RANK_PID_BASE + r``
+RANK_PID_BASE = 10
 
 
 # ------------------------------------------------------------------- JSONL
@@ -142,8 +145,48 @@ def write_prometheus(path: Path | str, registry: MetricsRegistry) -> int:
 
 
 # ----------------------------------------------------------- Chrome trace
+RankTracers = Union[Sequence[Tracer], Mapping[int, Tracer]]
+
+
+def _lockstep_offsets(
+    rank_events: Dict[int, List[Dict[str, Any]]],
+) -> Dict[int, float]:
+    """Per-rank time shifts that align ranks on the lockstep sequence number.
+
+    Every rank executes the same collective program, so the ``dist.*`` span
+    with ``seq == k`` on rank r is the *same* collective as ``seq == k`` on
+    every other rank -- and a collective completes everywhere at (nearly)
+    the same instant.  Ranks whose tracers share one clock need no shift;
+    tracers with disjoint (e.g. injected) clocks are aligned so the earliest
+    common collective's *end* coincides across ranks.  Waiting before that
+    end stays visible as span width, so stragglers are not hidden.
+    """
+    seq_ends: Dict[int, Dict[int, float]] = {}
+    for rank, events in rank_events.items():
+        ends: Dict[int, float] = {}
+        for e in events:
+            seq = e["attrs"].get("seq")
+            if (
+                seq is not None
+                and e["name"].startswith("dist.")
+                and e["t_end"] is not None
+            ):
+                ends.setdefault(int(seq), float(e["t_end"]))
+        seq_ends[rank] = ends
+    common = (
+        set.intersection(*(set(v) for v in seq_ends.values())) if seq_ends else set()
+    )
+    if not common:
+        return {r: 0.0 for r in rank_events}
+    s = min(common)
+    ref = max(ends[s] for ends in seq_ends.values())
+    return {r: ref - ends[s] for r, ends in seq_ends.items()}
+
+
 def merged_chrome_trace_events(
-    tracer: Optional[Tracer] = None, device: Optional[GpuDevice] = None
+    tracer: Optional[Tracer] = None,
+    device: Optional[GpuDevice] = None,
+    rank_tracers: Optional[RankTracers] = None,
 ) -> List[Dict[str, Any]]:
     """Host spans (pid 1) + modeled device ledger (pid 2) on one timeline.
 
@@ -151,14 +194,46 @@ def merged_chrome_trace_events(
     so they are not aligned instant-by-instant; both are rebased to start at
     0 so the *shapes* -- phase ordering and relative widths -- compare
     directly in one Perfetto window.
+
+    ``rank_tracers`` merges a distributed run: one extra Perfetto process
+    per SPMD rank (pid ``RANK_PID_BASE + rank``), collectives aligned
+    across ranks by their lockstep sequence number (see
+    :func:`_lockstep_offsets`) so ring imbalance and stragglers read
+    directly off the timeline.  Pass the tracers handed out by
+    :func:`repro.dist.comms.run_spmd` -- a sequence indexed by rank or a
+    ``{rank: tracer}`` mapping.
     """
     slices: List[Dict[str, Any]] = []
     meta: List[Dict[str, Any]] = []
 
+    # (pid, process name, span events, time shift) per wall-clock track
+    groups: List[tuple] = []
     if tracer is not None:
         events = tracer.snapshot()
         if events:
-            t0 = min(e["t_start"] for e in events)
+            groups.append((HOST_PID, "host (wall-clock spans)", events, 0.0))
+    if rank_tracers is not None:
+        if isinstance(rank_tracers, Mapping):
+            items = [(int(r), tr) for r, tr in sorted(rank_tracers.items())]
+        else:
+            items = [
+                (int(tr.tags.get("rank", i)), tr)
+                for i, tr in enumerate(rank_tracers)
+            ]
+        rank_events = {r: tr.snapshot() for r, tr in items}
+        offsets = _lockstep_offsets(rank_events)
+        for r, events in rank_events.items():
+            if events:
+                groups.append(
+                    (RANK_PID_BASE + r, f"rank {r} (wall-clock spans)",
+                     events, offsets[r])
+                )
+
+    if groups:
+        t0 = min(
+            e["t_start"] + shift for _, _, events, shift in groups for e in events
+        )
+        for pid, pname, events, shift in groups:
             thread_tids: Dict[int, int] = {}
             for e in events:
                 tid = thread_tids.setdefault(e["thread_id"], len(thread_tids) + 1)
@@ -168,23 +243,23 @@ def merged_chrome_trace_events(
                         "name": e["name"],
                         "cat": "host",
                         "ph": "X",
-                        "ts": round((e["t_start"] - t0) * 1e6, 3),
+                        "ts": round((e["t_start"] + shift - t0) * 1e6, 3),
                         "dur": round(max(0.0, end - e["t_start"]) * 1e6, 3),
-                        "pid": HOST_PID,
+                        "pid": pid,
                         "tid": tid,
                         "args": e["attrs"],
                     }
                 )
             meta.append(
                 {
-                    "name": "process_name", "ph": "M", "pid": HOST_PID,
-                    "args": {"name": "host (wall-clock spans)"},
+                    "name": "process_name", "ph": "M", "pid": pid,
+                    "args": {"name": pname},
                 }
             )
             for ident, tid in thread_tids.items():
                 meta.append(
                     {
-                        "name": "thread_name", "ph": "M", "pid": HOST_PID,
+                        "name": "thread_name", "ph": "M", "pid": pid,
                         "tid": tid, "args": {"name": f"thread-{ident}"},
                     }
                 )
@@ -212,9 +287,10 @@ def export_merged_chrome_trace(
     *,
     tracer: Optional[Tracer] = None,
     device: Optional[GpuDevice] = None,
+    rank_tracers: Optional[RankTracers] = None,
 ) -> int:
     """Write the merged trace JSON; returns the number of slice events."""
-    events = merged_chrome_trace_events(tracer, device)
+    events = merged_chrome_trace_events(tracer, device, rank_tracers)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(

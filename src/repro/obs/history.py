@@ -1,0 +1,309 @@
+"""Trend reports over the benchmark run store (``python -m repro obs history``).
+
+Renders each bench's metric trajectories across submitted runs two ways:
+
+* a **text table** with unicode sparklines -- the terminal view;
+* an optional **self-contained HTML** document (no external assets, no
+  JavaScript) with inline SVG sparklines, light/dark via CSS custom
+  properties, and the full numeric table next to every sparkline so the
+  data is always readable without color.
+
+Only *directional* metrics (see :func:`repro.obs.runstore.metric_direction`)
+are shown by default -- those are the ones the gate watches -- with
+``all_metrics=True`` widening to every numeric leaf.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import html as _html
+import time
+from typing import Dict, List, Optional, Sequence
+
+from .runstore import RunRecord, RunStore, metric_direction
+
+__all__ = ["BenchHistory", "HistoryReport", "TrendRow", "build_history", "sparkline"]
+
+_SPARK = "▁▂▃▄▅▆▇█"  # ▁▂▃▄▅▆▇█
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode sparkline; constant series render flat at mid-height."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK[3] * len(values)
+    scale = (len(_SPARK) - 1) / (hi - lo)
+    return "".join(_SPARK[int(round((v - lo) * scale))] for v in values)
+
+
+@dataclasses.dataclass(frozen=True)
+class TrendRow:
+    """One metric's trajectory over the shown runs."""
+
+    key: str
+    values: List[float]  # oldest .. newest; one per shown run
+    direction: Optional[str]
+
+    @property
+    def latest(self) -> float:
+        return self.values[-1]
+
+    @property
+    def rel_change(self) -> float:
+        """Newest value vs the median of the earlier ones (0.0 with <2 runs)."""
+        import statistics
+
+        if len(self.values) < 2:
+            return 0.0
+        med = statistics.median(self.values[:-1])
+        return (self.latest - med) / max(abs(med), 1e-12)
+
+    @property
+    def worse(self) -> bool:
+        if self.direction == "lower":
+            return self.rel_change > 0
+        if self.direction == "higher":
+            return self.rel_change < 0
+        return False
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchHistory:
+    """All trend rows of one bench."""
+
+    bench: str
+    runs: List[RunRecord]
+    rows: List[TrendRow]
+
+
+@dataclasses.dataclass(frozen=True)
+class HistoryReport:
+    """Trend report over every requested bench."""
+
+    benches: List[BenchHistory]
+
+    @property
+    def text(self) -> str:
+        if not self.benches:
+            return "run store is empty -- submit runs with `python -m repro runs submit`"
+        lines: List[str] = []
+        for bh in self.benches:
+            ids = f"{bh.runs[0].run_id} .. {bh.runs[-1].run_id}"
+            lines.append(f"bench: {bh.bench} ({len(bh.runs)} runs, {ids})")
+            if not bh.rows:
+                lines.append("  (no directional metrics)")
+                continue
+            width = max(len(r.key) for r in bh.rows)
+            for r in bh.rows:
+                mark = " !" if r.worse and abs(r.rel_change) > 0.05 else ""
+                lines.append(
+                    f"  {r.key:<{width}}  {sparkline(r.values):<12}"
+                    f" {r.latest:>12.6g}  {r.rel_change:+7.1%}{mark}"
+                )
+            lines.append("")
+        return "\n".join(lines).rstrip()
+
+    def html(self) -> str:
+        """One self-contained document: sparkline + numeric table per metric."""
+        sections = []
+        for bh in self.benches:
+            head = (
+                f"<h2>{_html.escape(bh.bench)}</h2>"
+                f"<p class='meta'>{len(bh.runs)} runs &middot; "
+                f"{_html.escape(bh.runs[0].run_id)} &rarr; "
+                f"{_html.escape(bh.runs[-1].run_id)}</p>"
+            )
+            rows = []
+            for r in bh.rows:
+                badge = (
+                    "<span class='delta worse'>&#9650;</span>"
+                    if r.worse and abs(r.rel_change) > 0.05
+                    else ""
+                )
+                rows.append(
+                    "<tr>"
+                    f"<td class='key'>{_html.escape(r.key)}</td>"
+                    f"<td class='spark'>{_svg_sparkline(r.values)}</td>"
+                    f"<td class='num'>{r.latest:.6g}</td>"
+                    f"<td class='num'>{r.rel_change:+.1%} {badge}</td>"
+                    "</tr>"
+                )
+            table = (
+                "<table><thead><tr><th>metric</th><th>trend</th>"
+                "<th>latest</th><th>vs median</th></tr></thead>"
+                f"<tbody>{''.join(rows)}</tbody></table>"
+            )
+            detail = _numeric_table(bh)
+            sections.append(f"<section>{head}{table}{detail}</section>")
+        stamp = time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime())
+        body = "".join(sections) or "<p>run store is empty</p>"
+        return _PAGE.format(body=body, stamp=stamp)
+
+    def bench(self, name: str) -> BenchHistory:
+        for bh in self.benches:
+            if bh.bench == name:
+                return bh
+        raise KeyError(name)
+
+
+def _numeric_table(bh: BenchHistory) -> str:
+    """The per-run numeric table (the always-readable data view)."""
+    heads = "".join(
+        f"<th>{_html.escape(r.run_id)}</th>" for r in bh.runs
+    )
+    body_rows = []
+    for row in bh.rows:
+        cells = "".join(f"<td class='num'>{v:.6g}</td>" for v in row.values)
+        body_rows.append(
+            f"<tr><td class='key'>{_html.escape(row.key)}</td>{cells}</tr>"
+        )
+    return (
+        "<details><summary>data table</summary>"
+        f"<table><thead><tr><th>metric</th>{heads}</tr></thead>"
+        f"<tbody>{''.join(body_rows)}</tbody></table></details>"
+    )
+
+
+def _svg_sparkline(values: Sequence[float], w: int = 140, h: int = 30) -> str:
+    """Inline SVG sparkline: one 2px series-1 line, endpoint dot, native
+    ``<title>`` tooltip carrying the values."""
+    if not values:
+        return ""
+    pad = 3.0
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    n = len(values)
+    xs = [pad + (w - 2 * pad) * (i / max(1, n - 1)) for i in range(n)]
+    ys = [h - pad - (h - 2 * pad) * ((v - lo) / span) for v in values]
+    points = " ".join(f"{x:.1f},{y:.1f}" for x, y in zip(xs, ys))
+    title = _html.escape(", ".join(f"{v:.6g}" for v in values))
+    return (
+        f"<svg viewBox='0 0 {w} {h}' width='{w}' height='{h}'"
+        " role='img' aria-label='trend'>"
+        f"<title>{title}</title>"
+        f"<polyline points='{points}' fill='none' stroke='var(--series-1)'"
+        " stroke-width='2' stroke-linecap='round' stroke-linejoin='round'/>"
+        f"<circle cx='{xs[-1]:.1f}' cy='{ys[-1]:.1f}' r='2.5'"
+        " fill='var(--series-1)'/></svg>"
+    )
+
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>benchmark run history</title>
+<style>
+.viz-root {{
+  color-scheme: light;
+  --surface-1:      #fcfcfb;
+  --page:           #f9f9f7;
+  --text-primary:   #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted:     #898781;
+  --grid:           #e1e0d9;
+  --series-1:       #2a78d6;
+  --bad:            #d03b3b;
+}}
+@media (prefers-color-scheme: dark) {{
+  :root:where(:not([data-theme="light"])) .viz-root {{
+    color-scheme: dark;
+    --surface-1:      #1a1a19;
+    --page:           #0d0d0d;
+    --text-primary:   #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted:     #898781;
+    --grid:           #2c2c2a;
+    --series-1:       #3987e5;
+    --bad:            #d03b3b;
+  }}
+}}
+:root[data-theme="dark"] .viz-root {{
+  color-scheme: dark;
+  --surface-1:      #1a1a19;
+  --page:           #0d0d0d;
+  --text-primary:   #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted:     #898781;
+  --grid:           #2c2c2a;
+  --series-1:       #3987e5;
+  --bad:            #d03b3b;
+}}
+.viz-root {{
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page);
+  color: var(--text-primary);
+  margin: 0;
+  padding: 24px;
+}}
+.viz-root h1 {{ font-size: 1.3rem; margin: 0 0 2px; }}
+.viz-root h2 {{ font-size: 1.05rem; margin: 24px 0 2px; }}
+.viz-root .meta {{ color: var(--text-secondary); margin: 0 0 10px; font-size: 0.85rem; }}
+.viz-root section {{
+  background: var(--surface-1);
+  border: 1px solid var(--grid);
+  border-radius: 8px;
+  padding: 12px 16px;
+  margin-bottom: 16px;
+}}
+.viz-root table {{ border-collapse: collapse; width: 100%; font-size: 0.85rem; }}
+.viz-root th {{
+  text-align: left; color: var(--text-muted); font-weight: 500;
+  border-bottom: 1px solid var(--grid); padding: 4px 10px 4px 0;
+}}
+.viz-root td {{ padding: 3px 10px 3px 0; border-bottom: 1px solid var(--grid); }}
+.viz-root td.key {{ color: var(--text-secondary); }}
+.viz-root td.num {{ font-variant-numeric: tabular-nums; text-align: right; }}
+.viz-root td.spark svg {{ display: block; }}
+.viz-root .delta.worse {{ color: var(--bad); font-size: 0.75rem; }}
+.viz-root details {{ margin-top: 8px; }}
+.viz-root summary {{ color: var(--text-muted); cursor: pointer; font-size: 0.8rem; }}
+</style>
+</head>
+<body class="viz-root">
+<h1>benchmark run history</h1>
+<p class="meta">generated {stamp} &middot; repro perf-regression observatory</p>
+{body}
+</body>
+</html>
+"""
+
+
+def build_history(
+    store: RunStore,
+    benches: Optional[Sequence[str]] = None,
+    *,
+    window: int = 20,
+    all_metrics: bool = False,
+) -> HistoryReport:
+    """Assemble the trend report over the last ``window`` runs per bench."""
+    names = list(benches) if benches else store.benches()
+    out: List[BenchHistory] = []
+    for name in names:
+        runs = store.latest(name, window)
+        if not runs:
+            continue
+        series: Dict[str, Dict[int, float]] = {}
+        for i, run in enumerate(runs):
+            for key, value in run.flat_metrics().items():
+                series.setdefault(key, {})[i] = value
+        rows = []
+        for key in sorted(series):
+            direction = metric_direction(key)
+            if direction is None and not all_metrics:
+                continue
+            present = series[key]
+            if len(present) < len(runs):  # metric must exist in every run shown
+                continue
+            rows.append(
+                TrendRow(
+                    key=key,
+                    values=[present[i] for i in range(len(runs))],
+                    direction=direction,
+                )
+            )
+        out.append(BenchHistory(bench=name, runs=runs, rows=rows))
+    return HistoryReport(benches=out)

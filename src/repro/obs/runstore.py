@@ -1,0 +1,541 @@
+"""Append-only benchmark run store: submit, list, diff, and gate runs.
+
+The paper's core claim is a performance claim, but ``BENCH_<name>.json``
+files are overwritten in place -- after two commits nobody can answer "did
+commit X make training slower, and which phase regressed?".  This module
+keeps the longitudinal record: every benchmark run is **submitted** into
+``results/runs/<bench>/`` as one immutable, checksummed envelope
+
+.. code-block:: json
+
+    {"format": "repro-run-v1",
+     "checksum": "<sha256 of the payload string>",
+     "payload": "<json: bench, run_id, commit, timestamp, env, phases, metrics>"}
+
+written with :func:`repro.ioutil.atomic_write_text` (the checkpoint-store
+recipe: readers see the old file or the new file, never a mixture, and a
+torn envelope is *skipped and counted*, never trusted).
+
+On top of the store sit three queries, exposed as
+``python -m repro runs {submit,list,diff,gate}``:
+
+``diff``
+    per-metric deltas between any two runs (list elements are keyed by
+    their name-ish field -- ``workload``/``layout``/``workers`` -- so the
+    comparison survives workload-set reordering).
+``gate``
+    a noise-aware regression check of the newest run against the
+    **median of the last K** prior runs.  A metric fails only when it
+    moves beyond ``max(rel_tol * |median|, abs_tol)`` in its *bad*
+    direction (``_s``/``bytes``-like metrics: up is bad;
+    ``speedup``/``throughput``-like: down is bad; anything else is
+    reported but never fails).  A failure is attributed to the training
+    phase (``setup``/``gradients``/``find_split``/``split_node``) whose
+    share of the phase breakdown grew the most.
+``history``
+    the trend table behind ``python -m repro obs history`` (see
+    :mod:`repro.obs.history`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import platform
+import re
+import statistics
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..ioutil import atomic_write_text
+from .metrics_registry import get_registry
+
+__all__ = [
+    "PHASES",
+    "GateReport",
+    "MetricDelta",
+    "RunRecord",
+    "RunStore",
+    "default_store_root",
+    "env_fingerprint",
+    "flatten_metrics",
+    "metric_direction",
+]
+
+RUN_FORMAT = "repro-run-v1"
+
+#: the trainer's phase span names, in execution order (matches the gpusim
+#: device phases of :class:`repro.core.trainer.GPUGBDTTrainer`)
+PHASES = ("setup", "gradients", "find_split", "split_node")
+
+#: list elements are keyed by the first of these fields they carry, so
+#: flattened metric paths stay stable when a workload set is reordered
+_KEY_FIELDS = ("workload", "layout", "name", "workers", "devices")
+
+_HIGHER_BETTER = re.compile(r"(speedup|throughput|per_s\b|per_sec|qps|rows_per)")
+_LOWER_BETTER = re.compile(
+    r"(_s$|_ms$|seconds$|_secs$|bytes$|_mb$|_kb$|steps$|wait|elapsed|latency)"
+)
+
+
+def default_store_root() -> Path:
+    """``results/runs`` under the repo root (``$REPRO_RUN_STORE`` overrides)."""
+    env = os.environ.get("REPRO_RUN_STORE")
+    if env:
+        return Path(env)
+    for parent in Path(__file__).resolve().parents:
+        if (parent / "pyproject.toml").is_file():
+            return parent / "results" / "runs"
+    return Path.cwd() / "results" / "runs"
+
+
+def env_fingerprint() -> Dict[str, Any]:
+    """What machine/toolchain produced a run (coarse, for run comparisons)."""
+    import numpy as np
+
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": np.__version__,
+        "cpus": os.cpu_count(),
+    }
+
+
+def _git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+# ----------------------------------------------------------- metric algebra
+def flatten_metrics(payload: Any, prefix: str = "") -> Dict[str, float]:
+    """``{dotted.path: value}`` for every numeric leaf of a bench payload.
+
+    List elements are keyed by their name-ish field (``workload``,
+    ``layout``, ``workers``, ...) instead of position, so adding or
+    reordering workloads does not rename every other metric.  Booleans are
+    skipped (identity checks are asserted by the benches themselves, not
+    trended).
+    """
+    out: Dict[str, float] = {}
+    if isinstance(payload, bool):
+        return out
+    if isinstance(payload, (int, float)):
+        out[prefix or "value"] = float(payload)
+        return out
+    if isinstance(payload, dict):
+        for k in sorted(payload):
+            sub = f"{prefix}.{k}" if prefix else str(k)
+            out.update(flatten_metrics(payload[k], sub))
+        return out
+    if isinstance(payload, (list, tuple)):
+        for i, item in enumerate(payload):
+            label = str(i)
+            if isinstance(item, dict):
+                for field in _KEY_FIELDS:
+                    if field in item and isinstance(item[field], (str, int)):
+                        label = f"{field}={item[field]}"
+                        break
+            sub = f"{prefix}[{label}]" if prefix else f"[{label}]"
+            out.update(flatten_metrics(item, sub))
+        return out
+    return out  # strings / None: not metrics
+
+
+def metric_direction(key: str) -> Optional[str]:
+    """``"lower"`` (up is a regression), ``"higher"``, or ``None`` (neutral:
+    trended and diffed, but never gated)."""
+    leaf = key.rsplit(".", 1)[-1].lower()
+    if _HIGHER_BETTER.search(leaf):
+        return "higher"
+    if _LOWER_BETTER.search(leaf):
+        return "lower"
+    return None
+
+
+# ------------------------------------------------------------------ records
+@dataclasses.dataclass(frozen=True)
+class RunRecord:
+    """One validated run loaded from the store."""
+
+    run_id: str
+    bench: str
+    commit: str
+    timestamp: float
+    env: Dict[str, Any]
+    phases: Dict[str, float]
+    metrics: Dict[str, Any]
+    note: str
+    path: Path
+
+    @property
+    def seq(self) -> int:
+        """Submission sequence number (the run-id's numeric prefix)."""
+        return int(self.run_id.split("-", 1)[0])
+
+    @property
+    def short_commit(self) -> str:
+        return self.commit[:10]
+
+    def flat_metrics(self) -> Dict[str, float]:
+        return flatten_metrics(self.metrics)
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricDelta:
+    """One metric's movement between two runs."""
+
+    key: str
+    old: float
+    new: float
+    direction: Optional[str]
+
+    @property
+    def rel(self) -> float:
+        denom = max(abs(self.old), 1e-12)
+        return (self.new - self.old) / denom
+
+    @property
+    def worse(self) -> bool:
+        """Did the metric move in its bad direction (any amount)?"""
+        if self.direction == "lower":
+            return self.new > self.old
+        if self.direction == "higher":
+            return self.new < self.old
+        return False
+
+    def __str__(self) -> str:
+        arrow = {"lower": "v good", "higher": "^ good"}.get(self.direction, "      ")
+        return (
+            f"{self.key}: {self.old:.6g} -> {self.new:.6g}"
+            f" ({self.rel:+.1%}) [{arrow}]"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class GateFinding:
+    """One gated metric's verdict against the rolling baseline."""
+
+    key: str
+    baseline: float
+    value: float
+    band: float
+    direction: str
+    regressed: bool
+
+    def __str__(self) -> str:
+        state = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.key}: {self.value:.6g} vs median {self.baseline:.6g}"
+            f" (band +/-{self.band:.3g}, {self.direction} is better) {state}"
+        )
+
+
+@dataclasses.dataclass
+class GateReport:
+    """Verdict of one ``runs gate`` invocation."""
+
+    bench: str
+    run: Optional[RunRecord]
+    baseline_runs: int
+    window: int
+    rel_tol: float
+    abs_tol: float
+    findings: List[GateFinding]
+    skipped: Optional[str] = None
+    #: phase the worst regression is attributed to (None when passing)
+    culprit_phase: Optional[str] = None
+    #: per-phase relative growth vs the baseline median (diagnostic)
+    phase_growth: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.regressed for f in self.findings)
+
+    @property
+    def regressions(self) -> List[GateFinding]:
+        return [f for f in self.findings if f.regressed]
+
+    @property
+    def text(self) -> str:
+        if self.skipped:
+            return f"gate[{self.bench}]: SKIPPED ({self.skipped})"
+        assert self.run is not None
+        head = (
+            f"gate[{self.bench}]: run {self.run.run_id}"
+            f" vs median of last {self.baseline_runs}"
+            f" (rel_tol={self.rel_tol:.0%}, abs_tol={self.abs_tol:g})"
+        )
+        lines = [head]
+        shown = self.regressions if not self.ok else self.findings
+        for f in shown:
+            lines.append(f"  {f}")
+        if self.culprit_phase:
+            lines.append(
+                f"  culprit phase: {self.culprit_phase} "
+                + ", ".join(
+                    f"{p}{g:+.0%}" for p, g in self.phase_growth.items()
+                )
+            )
+        lines.append(f"  verdict: {'PASS' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+# -------------------------------------------------------------------- store
+class RunStore:
+    """Append-only store of benchmark runs under ``root/<bench>/``.
+
+    ``clock`` and ``commit_resolver`` are injectable for deterministic
+    tests (mirroring the ``ContinualController`` pattern).
+    """
+
+    def __init__(
+        self,
+        root: Path | str | None = None,
+        *,
+        clock: Callable[[], float] = time.time,
+        commit_resolver: Callable[[], str] = _git_commit,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_store_root()
+        self.clock = clock
+        self.commit_resolver = commit_resolver
+
+    # ------------------------------------------------------------ submission
+    def submit(
+        self,
+        bench: str,
+        metrics: Dict[str, Any],
+        *,
+        phases: Optional[Dict[str, float]] = None,
+        note: str = "",
+    ) -> RunRecord:
+        """Record one run as a new immutable envelope; returns the record.
+
+        ``phases`` defaults to a ``"phases"`` key embedded in the metrics
+        payload (the hotpath/dist benches put their span breakdown there),
+        so submitting a ``BENCH_*.json`` file straight from disk keeps the
+        phase attribution.
+        """
+        if not re.fullmatch(r"[A-Za-z0-9_.-]+", bench):
+            raise ValueError(f"invalid bench name: {bench!r}")
+        if phases is None:
+            embedded = metrics.get("phases") if isinstance(metrics, dict) else None
+            phases = dict(embedded) if isinstance(embedded, dict) else {}
+        commit = self.commit_resolver()
+        seq = self._next_seq(bench)
+        run_id = f"{seq:06d}-{commit[:10]}"
+        doc = {
+            "bench": bench,
+            "run_id": run_id,
+            "commit": commit,
+            "timestamp": float(self.clock()),
+            "env": env_fingerprint(),
+            "phases": {str(k): float(v) for k, v in (phases or {}).items()},
+            "metrics": metrics,
+            "note": note,
+        }
+        payload = json.dumps(doc, sort_keys=True)
+        envelope = {
+            "format": RUN_FORMAT,
+            "checksum": hashlib.sha256(payload.encode("utf-8")).hexdigest(),
+            "payload": payload,
+        }
+        path = self.root / bench / f"{run_id}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, json.dumps(envelope, indent=1, sort_keys=True))
+        return self._record(doc, path)
+
+    def _next_seq(self, bench: str) -> int:
+        best = 0
+        for p in (self.root / bench).glob("*.json"):
+            m = re.match(r"(\d+)-", p.name)
+            if m:
+                best = max(best, int(m.group(1)))
+        return best + 1
+
+    # --------------------------------------------------------------- loading
+    @staticmethod
+    def _record(doc: Dict[str, Any], path: Path) -> RunRecord:
+        return RunRecord(
+            run_id=str(doc["run_id"]),
+            bench=str(doc["bench"]),
+            commit=str(doc.get("commit", "unknown")),
+            timestamp=float(doc.get("timestamp", 0.0)),
+            env=dict(doc.get("env", {})),
+            phases={str(k): float(v) for k, v in doc.get("phases", {}).items()},
+            metrics=doc.get("metrics", {}),
+            note=str(doc.get("note", "")),
+            path=path,
+        )
+
+    def _load(self, path: Path) -> Optional[RunRecord]:
+        """One envelope, or None (counted) when torn/invalid."""
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+            payload = envelope["payload"]
+            if envelope.get("format") != RUN_FORMAT:
+                raise ValueError("unknown format")
+            digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            if digest != envelope.get("checksum"):
+                raise ValueError("checksum mismatch")
+            return self._record(json.loads(payload), path)
+        except (OSError, ValueError, KeyError, TypeError):
+            get_registry().counter(
+                "runstore_torn_skipped_total",
+                "run envelopes skipped because torn or invalid",
+            ).inc()
+            return None
+
+    def benches(self) -> List[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+
+    def runs(self, bench: str) -> List[RunRecord]:
+        """Every valid run of ``bench``, oldest first (torn files skipped)."""
+        out = []
+        for path in sorted((self.root / bench).glob("*.json")):
+            rec = self._load(path)
+            if rec is not None:
+                out.append(rec)
+        out.sort(key=lambda r: r.seq)
+        return out
+
+    def latest(self, bench: str, k: int = 1) -> List[RunRecord]:
+        """The newest ``k`` valid runs, oldest first."""
+        return self.runs(bench)[-k:]
+
+    def get(self, bench: str, run_id: str) -> RunRecord:
+        """Look up one run by exact id, unique prefix, or relative index
+        (``-1`` = newest, ``-2`` = one before, ...)."""
+        runs = self.runs(bench)
+        if re.fullmatch(r"-\d+", run_id):
+            idx = int(run_id)
+            if -len(runs) <= idx <= -1:
+                return runs[idx]
+            raise KeyError(f"{bench}: no run at index {run_id}")
+        hits = [r for r in runs if r.run_id == run_id]
+        if not hits:
+            hits = [r for r in runs if r.run_id.startswith(run_id)]
+        if len(hits) == 1:
+            return hits[0]
+        if not hits:
+            raise KeyError(f"{bench}: no run matching {run_id!r}")
+        raise KeyError(
+            f"{bench}: {run_id!r} is ambiguous: {[r.run_id for r in hits]}"
+        )
+
+    # ------------------------------------------------------------------ diff
+    def diff(self, a: RunRecord, b: RunRecord) -> List[MetricDelta]:
+        """Per-metric movement from ``a`` (old) to ``b`` (new), shared keys
+        only, largest relative move first."""
+        fa, fb = a.flat_metrics(), b.flat_metrics()
+        deltas = [
+            MetricDelta(key=k, old=fa[k], new=fb[k], direction=metric_direction(k))
+            for k in sorted(set(fa) & set(fb))
+            if fa[k] != fb[k]
+        ]
+        deltas.sort(key=lambda d: abs(d.rel), reverse=True)
+        return deltas
+
+    # ------------------------------------------------------------------ gate
+    def gate(
+        self,
+        bench: str,
+        *,
+        window: int = 5,
+        rel_tol: float = 0.25,
+        abs_tol: float = 1e-4,
+        min_history: int = 2,
+    ) -> GateReport:
+        """Check the newest run against the median of the previous ``window``.
+
+        The tolerance band is ``max(rel_tol * |median|, abs_tol)`` per
+        metric -- wall-clock benches are noisy, so the default band is
+        generous; CI tightens nothing, it only catches step changes.  With
+        fewer than ``min_history`` prior runs the gate passes as skipped
+        (a rolling baseline needs history before it means anything).
+        """
+        runs = self.runs(bench)
+        if not runs:
+            return GateReport(
+                bench, None, 0, window, rel_tol, abs_tol, [],
+                skipped="no runs submitted",
+            )
+        newest, history = runs[-1], runs[:-1][-window:]
+        if len(history) < min_history:
+            return GateReport(
+                bench, newest, len(history), window, rel_tol, abs_tol, [],
+                skipped=f"only {len(history)} prior run(s), need {min_history}",
+            )
+
+        new_metrics = newest.flat_metrics()
+        baselines: Dict[str, List[float]] = {}
+        for r in history:
+            for k, v in r.flat_metrics().items():
+                baselines.setdefault(k, []).append(v)
+
+        findings: List[GateFinding] = []
+        for key, value in sorted(new_metrics.items()):
+            direction = metric_direction(key)
+            series = baselines.get(key)
+            if direction is None or not series:
+                continue
+            med = statistics.median(series)
+            band = max(rel_tol * abs(med), abs_tol)
+            regressed = (
+                value > med + band if direction == "lower" else value < med - band
+            )
+            findings.append(
+                GateFinding(
+                    key=key, baseline=med, value=value, band=band,
+                    direction=direction, regressed=regressed,
+                )
+            )
+
+        report = GateReport(
+            bench, newest, len(history), window, rel_tol, abs_tol, findings
+        )
+        if not report.ok:
+            report.phase_growth, report.culprit_phase = self._attribute_phase(
+                newest, history
+            )
+            get_registry().counter(
+                "runstore_gate_failures_total",
+                "rolling-baseline perf gate failures",
+                bench=bench,
+            ).inc()
+        return report
+
+    @staticmethod
+    def _attribute_phase(
+        newest: RunRecord, history: List[RunRecord]
+    ) -> Tuple[Dict[str, float], Optional[str]]:
+        """Relative per-phase growth vs the baseline median, and the phase
+        that grew the most (the regression's likely culprit)."""
+        growth: Dict[str, float] = {}
+        for phase in PHASES:
+            series = [r.phases[phase] for r in history if phase in r.phases]
+            if not series or phase not in newest.phases:
+                continue
+            med = statistics.median(series)
+            growth[phase] = (newest.phases[phase] - med) / max(abs(med), 1e-12)
+        culprit = max(growth, key=lambda p: growth[p]) if growth else None
+        if culprit is not None and growth[culprit] <= 0:
+            culprit = None  # nothing grew: the regression is outside the phases
+        return growth, culprit

@@ -48,8 +48,10 @@ __all__ = [
     "Span",
     "SpanStats",
     "Tracer",
+    "current_tracer",
     "get_tracer",
     "set_tracer",
+    "use_thread_tracer",
     "use_tracer",
     "span",
     "traced",
@@ -216,6 +218,11 @@ class Tracer:
     max_spans:
         Finished-span retention cap; further spans are counted in
         :attr:`dropped` but not stored.
+    tags:
+        Attributes stamped onto *every* span this tracer records (explicit
+        span attributes win on collision).  The distributed runner uses this
+        to rank-tag each worker's tracer (``tags={"rank": r}``) so merged
+        traces and flight-recorder snapshots stay attributable.
     """
 
     def __init__(
@@ -224,16 +231,19 @@ class Tracer:
         enabled: bool = True,
         clock: Callable[[], float] = time.perf_counter,
         max_spans: int = 1_000_000,
+        tags: Optional[Dict[str, Any]] = None,
     ) -> None:
         if max_spans < 1:
             raise ValueError("max_spans must be positive")
         self.enabled = enabled
         self.clock = clock
         self.max_spans = max_spans
+        self.tags: Dict[str, Any] = dict(tags or {})
         self.dropped = 0
         self._lock = threading.Lock()
         self._finished: List[Span] = []
         self._local = threading.local()
+        self._stacks: Dict[int, List[Span]] = {}
         self._next_id = 0
 
     # ------------------------------------------------------------- internals
@@ -241,6 +251,8 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+            with self._lock:
+                self._stacks[threading.get_ident()] = stack
         return stack
 
     # ------------------------------------------------------------ recording
@@ -264,7 +276,7 @@ class Tracer:
             depth=len(stack),
             thread_id=threading.get_ident(),
             t_start=self.clock(),
-            attrs=attrs,
+            attrs={**self.tags, **attrs} if self.tags else attrs,
         )
         stack.append(sp)
         return sp
@@ -311,9 +323,15 @@ class Tracer:
         with self._lock:
             return list(self._finished)
 
-    def open_spans(self) -> List[Span]:
-        """Spans started on *this* thread that have not ended."""
-        return [sp for sp in self._stack() if not sp.closed]
+    def open_spans(self, all_threads: bool = False) -> List[Span]:
+        """Spans that have not ended: the calling thread's by default, or --
+        for post-mortem inspection (flight recorder, post-crash export) --
+        every thread's, including threads that have since died."""
+        if not all_threads:
+            return [sp for sp in self._stack() if not sp.closed]
+        with self._lock:
+            stacks = [list(stack) for stack in self._stacks.values()]
+        return [sp for stack in stacks for sp in stack if not sp.closed]
 
     def __len__(self) -> int:
         with self._lock:
@@ -321,12 +339,13 @@ class Tracer:
 
     def snapshot(self, include_open: bool = True) -> List[Dict[str, Any]]:
         """JSON-safe events for every finished span, plus (optionally) a
-        closed-at-now copy of each span still open on the calling thread,
-        tagged ``unclosed=True`` -- nothing silently disappears."""
+        closed-at-now copy of each span still open on *any* thread, tagged
+        ``unclosed=True`` -- nothing silently disappears, even spans left
+        open by a crashed worker thread."""
         events = [sp.to_event() for sp in self.finished()]
         if include_open:
             now = self.clock()
-            for sp in self.open_spans():
+            for sp in self.open_spans(all_threads=True):
                 ev = sp.to_event()
                 ev["t_end"] = now
                 ev["duration"] = now - sp.t_start
@@ -363,10 +382,20 @@ def _env_enabled() -> bool:
 
 _TRACER = Tracer(enabled=_env_enabled())
 
+#: per-thread tracer override (see :func:`use_thread_tracer`)
+_THREAD = threading.local()
+
 
 def get_tracer() -> Tracer:
     """The process-global tracer all built-in instrumentation records into."""
     return _TRACER
+
+
+def current_tracer() -> Tracer:
+    """The tracer module-level :func:`span` records into right now: the
+    calling thread's override when one is installed, else the global."""
+    override = getattr(_THREAD, "tracer", None)
+    return override if override is not None else _TRACER
 
 
 def set_tracer(tracer: Tracer) -> Tracer:
@@ -387,20 +416,37 @@ def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
         set_tracer(previous)
 
 
+@contextlib.contextmanager
+def use_thread_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Route this *thread's* module-level :func:`span` calls into ``tracer``.
+
+    Unlike :func:`use_tracer` (which swaps the process global and therefore
+    every thread at once), this override is thread-local: the distributed
+    runner wraps each SPMD rank in one so concurrently training workers
+    record into disjoint, rank-tagged tracers while the rest of the process
+    keeps using the global."""
+    previous = getattr(_THREAD, "tracer", None)
+    _THREAD.tracer = tracer
+    try:
+        yield tracer
+    finally:
+        _THREAD.tracer = previous
+
+
 def span(name: str, **attrs: Any):
-    """Record a span on the global tracer (module-level convenience)."""
-    return _TRACER.span(name, **attrs)
+    """Record a span on the current tracer (module-level convenience)."""
+    return current_tracer().span(name, **attrs)
 
 
 def traced(name: Optional[str] = None, **attrs: Any):
-    """Decorator recording a span on the *current* global tracer per call."""
+    """Decorator recording a span on the *current* tracer per call."""
 
     def decorate(fn: Callable) -> Callable:
         label = name if name is not None else fn.__qualname__
 
         @functools.wraps(fn)
         def wrapper(*args: Any, **kwargs: Any):
-            with _TRACER.span(label, **attrs):
+            with current_tracer().span(label, **attrs):
                 return fn(*args, **kwargs)
 
         return wrapper

@@ -6,6 +6,9 @@ ring-step cost model exactly, and injected faults must surface as
 ``WorkerFailure`` in the survivors while real bugs re-raise as themselves.
 """
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -13,6 +16,7 @@ from repro.dist.comms import (
     FaultPlan,
     LinkSpec,
     WorkerFailure,
+    _Rendezvous,
     run_spmd,
 )
 from repro.gpusim.costmodel import PCIE_LATENCY_S
@@ -252,3 +256,46 @@ class TestStraggler:
 
         _, colls = run_spmd(2, fn, backend="threaded", faults=faults)
         assert colls[1].stats.wait_s >= 0.05
+
+
+class TestRendezvous:
+    def test_abort_never_breaks_a_completed_generation(self):
+        """A rank that passes a rendezvous and then aborts (crash at its
+        next fault point) must not spuriously break peers still draining
+        the generation it completed -- the stdlib Barrier gets this wrong,
+        which made rank 0's end-of-round checkpoint racy."""
+        rv = _Rendezvous(2)
+        errors = []
+
+        def waiter():
+            try:
+                rv.wait()
+            except threading.BrokenBarrierError:
+                errors.append("broken")
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)  # waiter is blocked inside the rendezvous
+        rv.wait()  # completes the generation ...
+        rv.abort()  # ... and immediately breaks the *next* one
+        t.join(timeout=5)
+        assert not t.is_alive() and errors == []
+
+    def test_abort_breaks_incomplete_generation_and_later_arrivals(self):
+        rv = _Rendezvous(2)
+        caught = []
+
+        def waiter():
+            try:
+                rv.wait()
+            except threading.BrokenBarrierError:
+                caught.append(True)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        rv.abort()  # generation never filled: the waiter must break
+        t.join(timeout=5)
+        assert caught == [True]
+        with pytest.raises(threading.BrokenBarrierError):
+            rv.wait()
