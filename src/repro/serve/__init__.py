@@ -9,26 +9,40 @@ has to answer prediction requests as fast as the host allows:
     contiguous NumPy arrays, so a whole batch is routed through *all* trees
     with one level-wise sweep (the layout Mitchell et al. use for GPU
     prediction, applied host-side).
+``batch_core``
+    :class:`BatchQueue` -- the transport-agnostic batching kernel: bounded
+    FIFO + first-request-anchored max-wait deadline, no model/clock/thread
+    policy baked in.
 ``batcher``
-    :class:`MicroBatcher` -- a bounded request queue that groups single-row
-    requests into batches (max-batch-size / max-wait policy), sheds to a
-    per-row fallback or rejects under overload, and serves repeated feature
-    vectors from a prediction cache.
+    :class:`MicroBatcher` -- the transport binding the core to a model,
+    metrics, and an overload story (shed to a per-row fallback or reject).
+``feature_cache``
+    :class:`FeatureCache` -- version-keyed LRU prediction cache whose
+    hit/miss/eviction counters land on the shared obs registry with a
+    ``replica`` label.
 ``registry``
     :class:`ModelRegistry` -- content-addressed model versions layered on the
     ``to_json``/``from_json`` round-trip, with hot swap and rollback.
 ``stats``
-    :class:`ServingStats` -- latency percentiles, throughput and cache/shed
+    :class:`ServingStats` -- latency percentiles, throughput and shed/reject
     counters, JSON-safe for the regression harness.
+``cluster``
+    Multi-replica tier: front door with admission control and pluggable
+    routing, replica lifecycle (warm-up/drain/rolling deploy), and the
+    closed-loop load generator.
 """
 
+from .batch_core import BatchQueue
 from .batcher import BatchPolicy, MicroBatcher, PendingPrediction, QueueFull
+from .feature_cache import FeatureCache
 from .flat_model import FlatEnsemble
 from .registry import ModelRegistry, ModelVersion
 from .stats import ServingStats
 
 __all__ = [
     "BatchPolicy",
+    "BatchQueue",
+    "FeatureCache",
     "FlatEnsemble",
     "MicroBatcher",
     "ModelRegistry",

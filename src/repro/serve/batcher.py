@@ -1,28 +1,44 @@
-"""Micro-batching request queue with backpressure and graceful degradation.
+"""Micro-batching request transport over the pure :class:`BatchQueue` core.
 
 Single-row prediction requests are expensive to serve one by one (every call
 pays the full per-tree dispatch overhead); batches amortize it.  The
-:class:`MicroBatcher` accumulates requests in a bounded queue and flushes a
-batch through the :class:`~repro.serve.flat_model.FlatEnsemble` when either
+:class:`MicroBatcher` accumulates requests in a bounded
+:class:`~repro.serve.batch_core.BatchQueue` and flushes a batch through the
+:class:`~repro.serve.flat_model.FlatEnsemble` when either
 
 * ``max_batch`` requests are waiting, or
-* the oldest request has waited ``max_wait`` seconds.
+* the oldest request has waited ``max_wait`` seconds (the deadline is
+  anchored to the *first* queued request -- late arrivals join the batch
+  but never extend the wait; see :mod:`repro.serve.batch_core`).
 
-Flushes are *pull-driven*: the serving loop calls :meth:`MicroBatcher.poll`
-on every tick (and :meth:`MicroBatcher.drain` at shutdown).  Between polls --
-e.g. while a previous batch is being predicted -- the queue is the only
-buffer, and when it reaches ``max_queue`` the batcher degrades gracefully
-instead of growing without bound:
+The queue/deadline policy lives in the core; this class is the *transport*
+binding it to a model, a clock, metrics, and an overload story.  Flushing is
+decomposed into two steps so any serving loop can drive it:
+
+``take_ready(now)``
+    pop one due batch (or None) -- pure scheduling, no prediction work;
+``complete(batch, now)``
+    predict the batch, resolve its handles at ``now``, charge the simulated
+    device, and record stats.
+
+``poll``/``drain`` compose the two on the caller's thread (the single-process
+serving loop); the cluster front door instead takes a batch at simulated
+time ``t`` and completes it at ``t + service_time`` so queue wait *and*
+service time both land in the latency distribution.
+
+Between polls the queue is the only buffer, and when it reaches ``max_queue``
+the batcher degrades gracefully instead of growing without bound:
 
 * ``overload="degrade"`` serves the overflow request immediately through the
   scalar per-row fallback (higher unit cost, zero queue wait, never lost);
 * ``overload="reject"`` applies backpressure by raising :class:`QueueFull`.
 
-An optional feature-hash cache short-circuits repeated feature vectors; it is
-keyed to the active model version and invalidated on hot swap.  A simulated
-:class:`~repro.gpusim.kernel.GpuDevice` may ride along: every flushed batch
-is charged through the Section III-D prediction-kernel cost model, keeping
-modeled serving cost honest.
+An optional :class:`~repro.serve.feature_cache.FeatureCache` short-circuits
+repeated feature vectors; it is keyed to the active model version,
+invalidated on hot swap, and its hit/miss/eviction counters land on the
+shared :mod:`repro.obs` registry labelled by replica.  A simulated
+:class:`~repro.gpusim.kernel.GpuDevice` may ride along: every completed
+batch is charged through the Section III-D prediction-kernel cost model.
 
 The clock is injectable (``clock=`` or explicit ``now=`` arguments), so
 batching policy is testable with a simulated clock and usable with
@@ -33,19 +49,27 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from collections import OrderedDict, deque
-from typing import Callable, Deque, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.predictor import charge_prediction_kernels
 from ..gpusim.kernel import GpuDevice
 from ..obs import span
+from .batch_core import BatchQueue
+from .feature_cache import FeatureCache
 from .flat_model import FlatEnsemble
 from .registry import DEFAULT_NAME, ModelRegistry
 from .stats import ServingStats
 
-__all__ = ["BatchPolicy", "MicroBatcher", "PendingPrediction", "QueueFull"]
+__all__ = ["Batch", "BatchPolicy", "MicroBatcher", "PendingPrediction", "QueueFull"]
+
+#: what `take_ready` hands back: ``(row, t_enqueue, handle)`` triples
+Batch = List[Tuple[np.ndarray, float, "PendingPrediction"]]
+
+#: a source may also be a 0-arg callable resolving to ``(flat, version)`` --
+#: the cluster replica uses this to pin a specific registry version
+SourceResolver = Callable[[], Tuple[FlatEnsemble, Optional[str]]]
 
 
 class QueueFull(RuntimeError):
@@ -77,9 +101,10 @@ class BatchPolicy:
 
 
 class PendingPrediction:
-    """Handle returned by :meth:`MicroBatcher.submit`; resolved at flush."""
+    """Handle returned by :meth:`MicroBatcher.submit`; resolved exactly once
+    when its batch completes (or immediately: cache hit / degraded path)."""
 
-    __slots__ = ("done", "value", "version", "cache_hit", "degraded")
+    __slots__ = ("done", "value", "version", "cache_hit", "degraded", "t_done")
 
     def __init__(self) -> None:
         self.done = False
@@ -87,6 +112,8 @@ class PendingPrediction:
         self.version: str | None = None
         self.cache_hit = False
         self.degraded = False
+        #: completion time on the batcher's clock (None until resolved)
+        self.t_done: float | None = None
 
     def result(self) -> float:
         if not self.done:
@@ -94,9 +121,12 @@ class PendingPrediction:
         assert self.value is not None
         return self.value
 
-    def _resolve(self, value: float, version: str | None) -> None:
+    def _resolve(self, value: float, version: str | None, now: float | None = None) -> None:
+        if self.done:
+            raise RuntimeError("prediction resolved twice (duplicated response)")
         self.value = float(value)
         self.version = version
+        self.t_done = now
         self.done = True
 
 
@@ -106,43 +136,57 @@ class MicroBatcher:
     Parameters
     ----------
     source:
-        A :class:`FlatEnsemble` to serve, or a :class:`ModelRegistry` whose
+        A :class:`FlatEnsemble` to serve, a :class:`ModelRegistry` whose
         active version (of ``model_name``) is resolved at every submit/flush
         -- so a hot swap takes effect on the *next* batch, and every request
-        within one batch is served by a single consistent version.
+        within one batch is served by a single consistent version -- or a
+        0-arg callable returning ``(flat, version)`` (how a cluster replica
+        pins one registry version independently of the active pointer).
     policy:
         Flush/overload/caching policy.
     stats:
         Metrics sink (a fresh :class:`ServingStats` when omitted).
     device:
-        Optional simulated GPU; each flushed batch charges the prediction
+        Optional simulated GPU; each completed batch charges the prediction
         kernels so modeled serving cost accumulates in its ledger.
     clock:
         0-arg callable returning seconds; every public method also accepts an
         explicit ``now`` for simulated time.
+    replica:
+        Label for the shared cache counters (``serve_cache_*_total``); the
+        cluster names its replicas, standalone batchers stay ``"solo"``.
     """
 
     def __init__(
         self,
-        source: FlatEnsemble | ModelRegistry,
+        source: FlatEnsemble | ModelRegistry | SourceResolver,
         *,
         model_name: str = DEFAULT_NAME,
         policy: BatchPolicy | None = None,
         stats: ServingStats | None = None,
         device: GpuDevice | None = None,
         clock: Callable[[], float] = time.monotonic,
+        replica: str = "solo",
     ) -> None:
-        if not isinstance(source, (FlatEnsemble, ModelRegistry)):
-            raise TypeError("source must be a FlatEnsemble or a ModelRegistry")
+        if not isinstance(source, (FlatEnsemble, ModelRegistry)) and not callable(
+            source
+        ):
+            raise TypeError(
+                "source must be a FlatEnsemble, a ModelRegistry, or a callable "
+                "returning (flat, version)"
+            )
         self._source = source
         self._model_name = model_name
         self.policy = policy if policy is not None else BatchPolicy()
         self.stats = stats if stats is not None else ServingStats()
         self.device = device
         self._clock = clock
-        self._queue: Deque[Tuple[np.ndarray, float, PendingPrediction]] = deque()
-        self._cache: "OrderedDict[bytes, float]" = OrderedDict()
-        self._cache_version: Optional[str] = None
+        self.queue = BatchQueue(
+            max_batch=self.policy.max_batch,
+            max_wait=self.policy.max_wait,
+            max_queue=self.policy.max_queue,
+        )
+        self.cache = FeatureCache(self.policy.cache_size, replica=replica)
 
     # -------------------------------------------------------------- resolving
     def _resolve(self) -> Tuple[FlatEnsemble, Optional[str]]:
@@ -150,16 +194,16 @@ class MicroBatcher:
         if isinstance(self._source, ModelRegistry):
             active = self._source.active(self._model_name)
             flat, version = active.flat, active.version
-        else:
+        elif isinstance(self._source, FlatEnsemble):
             flat, version = self._source, None
-        if version != self._cache_version:
-            self._cache.clear()
-            self._cache_version = version
+        else:
+            flat, version = self._source()
+        self.cache.sync_version(version)
         return flat, version
 
     @property
     def queue_depth(self) -> int:
-        return len(self._queue)
+        return len(self.queue)
 
     # ------------------------------------------------------------- submitting
     def submit(self, row: np.ndarray, now: float | None = None) -> PendingPrediction:
@@ -172,82 +216,104 @@ class MicroBatcher:
         now = self._clock() if now is None else now
         self.stats.note_time(now)
         row = np.asarray(row, dtype=np.float64).reshape(-1)
-        handle = PendingPrediction()
 
-        if self.policy.cache_size > 0:
+        if self.cache.enabled:
             flat, version = self._resolve()
-            key = row.tobytes()
-            hit = key in self._cache
-            self.stats.record_lookup(hit)
-            if hit:
-                self._cache.move_to_end(key)
+            cached = self.cache.lookup(row.tobytes(), version)
+            if cached is not None:
+                handle = PendingPrediction()
                 handle.cache_hit = True
-                handle._resolve(self._cache[key], version)
+                handle._resolve(cached, version, now)
                 self.stats.record_request(0.0)
                 return handle
 
-        if len(self._queue) >= self.policy.max_queue:
+        handle = PendingPrediction()
+        if not self.queue.push((row, handle), now):
             if self.policy.overload == "reject":
                 self.stats.record_reject()
                 raise QueueFull(
                     f"queue at max_queue={self.policy.max_queue}; request rejected"
                 )
-            with span("serve_shed", queue_depth=len(self._queue)):
-                flat, version = self._resolve()
-                handle.degraded = True
-                handle._resolve(flat.predict_one(row), version)
-            self.stats.record_request(0.0, degraded=True)
-            return handle
+            return self.shed(row, now, handle)
+        return handle
 
-        self._queue.append((row, now, handle))
+    def shed(
+        self,
+        row: np.ndarray,
+        now: float | None = None,
+        handle: PendingPrediction | None = None,
+    ) -> PendingPrediction:
+        """Serve one row immediately through the degraded per-row fallback
+        (the overload path; also what cluster admission control sheds to)."""
+        now = self._clock() if now is None else now
+        row = np.asarray(row, dtype=np.float64).reshape(-1)
+        handle = handle if handle is not None else PendingPrediction()
+        with span("serve_shed", queue_depth=len(self.queue)):
+            flat, version = self._resolve()
+            handle.degraded = True
+            handle._resolve(flat.predict_one(row), version, now)
+        self.stats.record_request(0.0, degraded=True)
         return handle
 
     # --------------------------------------------------------------- flushing
+    def take_ready(self, now: float | None = None) -> Optional[Batch]:
+        """Pop one due batch (max-batch reached or max-wait expired); None
+        when nothing is due.  Pure scheduling -- no prediction work."""
+        now = self._clock() if now is None else now
+        taken = self.queue.take_ready(now)
+        if taken is None:
+            return None
+        return [(row, t_enq, handle) for (row, handle), t_enq in taken]
+
+    def take(self) -> Batch:
+        """Pop up to one batch unconditionally (drain paths)."""
+        return [(row, t_enq, handle) for (row, handle), t_enq in self.queue.take()]
+
+    def complete(self, batch: Batch, now: float | None = None) -> int:
+        """Predict ``batch`` and resolve its handles at time ``now``.
+
+        Latency recorded per request is ``now - t_enqueue`` -- the driving
+        loop decides whether ``now`` is the take instant (synchronous
+        ``poll``) or take + modeled service time (the cluster simulator).
+        Returns the number of rows served.
+        """
+        if not batch:
+            return 0
+        now = self._clock() if now is None else now
+        with span("serve_flush", batch=len(batch), queued=len(self.queue)):
+            rows = np.stack([row for row, _, _ in batch])
+            flat, version = self._resolve()
+            values = flat.predict(rows)
+            if self.device is not None:
+                charge_prediction_kernels(
+                    self.device,
+                    n_rows=len(batch),
+                    n_trees=flat.n_trees,
+                    avg_depth=max(1.0, flat.mean_depth),
+                )
+            self.stats.note_time(now)
+            self.stats.record_batch(len(batch))
+            for (row, t_enq, handle), value in zip(batch, values):
+                handle._resolve(value, version, now)
+                self.stats.record_request(max(0.0, now - t_enq))
+                self.cache.store(row.tobytes(), float(value))
+        return len(batch)
+
     def poll(self, now: float | None = None) -> int:
-        """One serving-loop tick: flush every full batch, then a partial one
-        if the oldest request exceeded ``max_wait``.  Returns rows flushed."""
+        """One serving-loop tick: complete every due batch at ``now``
+        (full batches first, then an overdue partial).  Returns rows flushed."""
         now = self._clock() if now is None else now
         flushed = 0
-        while len(self._queue) >= self.policy.max_batch:
-            flushed += self._flush_one(now)
-        if self._queue and now - self._queue[0][1] >= self.policy.max_wait:
-            flushed += self._flush_one(now)
-        return flushed
+        while True:
+            batch = self.take_ready(now)
+            if batch is None:
+                return flushed
+            flushed += self.complete(batch, now)
 
     def drain(self, now: float | None = None) -> int:
         """Flush everything still queued (shutdown / end of bench)."""
         now = self._clock() if now is None else now
         flushed = 0
-        while self._queue:
-            flushed += self._flush_one(now)
+        while len(self.queue):
+            flushed += self.complete(self.take(), now)
         return flushed
-
-    def _flush_one(self, now: float) -> int:
-        take = min(len(self._queue), self.policy.max_batch)
-        with span("serve_flush", batch=take, queued=len(self._queue)):
-            return self._flush_batch(now, take)
-
-    def _flush_batch(self, now: float, take: int) -> int:
-        batch = [self._queue.popleft() for _ in range(take)]
-        rows = np.stack([row for row, _, _ in batch])
-        flat, version = self._resolve()
-        values = flat.predict(rows)
-        if self.device is not None:
-            charge_prediction_kernels(
-                self.device,
-                n_rows=take,
-                n_trees=flat.n_trees,
-                avg_depth=max(1.0, flat.mean_depth),
-            )
-        self.stats.note_time(now)
-        self.stats.record_batch(take)
-        cache_on = self.policy.cache_size > 0
-        for (row, t_enq, handle), value in zip(batch, values):
-            handle._resolve(value, version)
-            self.stats.record_request(max(0.0, now - t_enq))
-            if cache_on:
-                self._cache[row.tobytes()] = float(value)
-                self._cache.move_to_end(row.tobytes())
-                while len(self._cache) > self.policy.cache_size:
-                    self._cache.popitem(last=False)
-        return take

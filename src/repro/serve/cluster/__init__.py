@@ -1,0 +1,47 @@
+"""Multi-replica serving tier: front door, replicas, routing, load gen.
+
+The single-process :class:`~repro.serve.batcher.MicroBatcher` scales
+vertically (bigger batches); this package scales it horizontally:
+
+``replica``
+    :class:`Replica` -- one pinned model version + micro-batcher + lifecycle
+    (WARMING -> READY -> DRAINING -> STOPPED) with a rank-tagged tracer.
+``routing``
+    Round-robin, least-loaded, and consistent-hash request routing.
+``frontdoor``
+    :class:`FrontDoor` -- shared admission control over every replica queue,
+    event-driven simulated service (:class:`ServiceModel`), and the rolling
+    hot-swap state machine with validation + rollback.
+``loadgen``
+    Closed-loop deterministic load generation (Poisson/bursty arrivals,
+    slow-client backpressure) reporting p50/p95/p99, goodput, reject and
+    degrade rates, per-replica utilization.
+``demo``
+    ``python -m repro serve demo`` -- storm + mid-storm rolling deploy.
+"""
+
+from .frontdoor import AdmissionPolicy, DeployReport, FrontDoor, ServiceModel
+from .loadgen import LoadReport, LoadSpec, run_load
+from .replica import Replica, ReplicaState
+from .routing import (
+    ConsistentHashRouter,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    make_router,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "ConsistentHashRouter",
+    "DeployReport",
+    "FrontDoor",
+    "LeastLoadedRouter",
+    "LoadReport",
+    "LoadSpec",
+    "Replica",
+    "ReplicaState",
+    "RoundRobinRouter",
+    "ServiceModel",
+    "make_router",
+    "run_load",
+]

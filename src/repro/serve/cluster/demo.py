@@ -1,0 +1,157 @@
+"""``python -m repro serve demo`` -- the serving cluster end to end.
+
+One command that exercises the whole tier: trains two model versions,
+stands up an N-replica front door, fires a bursty storm through the
+closed-loop load generator, performs a rolling deploy *mid-storm* (drain ->
+validate -> pin -> warm, one replica at a time), prints the latency/goodput
+report, and (optionally) exports the merged per-replica Chrome trace.
+
+The output ends with grep-able lines CI asserts on::
+
+    CLUSTER_GOODPUT=<qps>
+    CLUSTER_DEPLOY=ok swapped=<n> dropped=0
+    CLUSTER_DIGEST=<sha256[:12] of the post-deploy probe predictions>
+
+The digest is deterministic for a given seed/config: training, routing,
+arrivals, and service times are all seeded or modeled, so any two runs that
+print different digests have genuinely diverged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import List, Optional
+
+import numpy as np
+
+from ...core.params import GBDTParams
+from ...core.trainer import GPUGBDTTrainer
+from ...data.datasets import make_dataset
+from ...obs import export_merged_chrome_trace
+from ..batcher import BatchPolicy
+from ..registry import ModelRegistry
+from .frontdoor import AdmissionPolicy, FrontDoor, ServiceModel
+from .loadgen import LoadSpec, run_load
+
+__all__ = ["ServeDemoResult", "run_serve_demo"]
+
+
+@dataclasses.dataclass
+class ServeDemoResult:
+    lines: List[str]
+    goodput_qps: float
+    dropped: int
+    swapped: int
+    digest: str
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self.lines)
+
+
+def run_serve_demo(
+    *,
+    quick: bool = False,
+    replicas: int = 3,
+    router: str = "least-loaded",
+    trace_path: Optional[str] = None,
+    seed: int = 7,
+) -> ServeDemoResult:
+    lines: List[str] = []
+
+    def say(msg: str) -> None:
+        lines.append(msg)
+
+    n_trees = 15 if quick else 40
+    ds = make_dataset("susy", run_rows=300 if quick else 800, seed=21)
+    X = ds.X.to_dense().values
+    say(f"training v1/v2 ({n_trees} trees) on {ds.name} [{X.shape[0]} rows]")
+    model_v1 = GPUGBDTTrainer(GBDTParams(n_trees=n_trees, max_depth=4)).fit(
+        ds.X, ds.y
+    )
+    model_v2 = GPUGBDTTrainer(
+        GBDTParams(n_trees=n_trees, max_depth=4, learning_rate=0.2)
+    ).fit(ds.X, ds.y)
+    registry = ModelRegistry()
+    v1 = registry.publish(model_v1)
+    v2 = registry.publish(model_v2, activate=False)
+    say(f"registry: active={v1} staged={v2}")
+
+    fd = FrontDoor(
+        registry,
+        replicas,
+        policy=BatchPolicy(max_batch=32, max_wait=0.004, max_queue=64,
+                           cache_size=256),
+        admission=AdmissionPolicy(max_pending=48 * replicas, overload="degrade"),
+        router=router,
+        service=ServiceModel(base_s=0.002, per_row_s=0.0001),
+        warm_rows=X[:8],
+    )
+    say(f"cluster: {replicas} replicas READY, router={router}")
+
+    spec = LoadSpec(
+        n_clients=48,
+        duration_s=0.5 if quick else 1.5,
+        arrival="bursty",
+        mean_gap_s=0.005,
+        burst_factor=6.0,
+        burst_period_s=0.2,
+        burst_duty=0.4,
+        slow_client_frac=0.125,
+        slow_client_delay_s=0.02,
+        slo_ms=25.0,
+        seed=seed,
+    )
+    # request pool: perturbed copies of the training rows, larger than the
+    # cache so the storm exercises batching (hits stay a minority)
+    rng = np.random.default_rng(seed + 1)
+    pool = np.repeat(X, max(1, 1500 // len(X) + 1), axis=0)[:1500]
+    pool = pool + rng.normal(scale=0.01, size=pool.shape)
+
+    probes = X[:32]
+    expected = registry.get("default", v2).flat.predict(probes)
+    deploy_t = spec.duration_s * 0.35
+    say(
+        f"firing burst storm ({spec.n_clients} clients, "
+        f"{spec.duration_s:.1f}s) with rolling deploy at t={deploy_t:.2f}s"
+    )
+    report = run_load(
+        fd,
+        pool,
+        spec,
+        actions=[
+            (deploy_t,
+             lambda door, now: door.start_deploy(v2, probes, expected, now=now))
+        ],
+    )
+    say(report.text())
+
+    deploy = fd.deploy
+    assert deploy is not None
+    dropped = report.offered - report.completed - report.rejected
+    swapped = len(deploy.swapped)
+    status = "ok" if (deploy.done and not deploy.failed) else "FAILED"
+    digest = hashlib.sha256(
+        np.ascontiguousarray(
+            registry.get("default", registry.active().version)
+            .flat.predict(probes)
+        ).tobytes()
+    ).hexdigest()[:12]
+
+    if trace_path:
+        n = export_merged_chrome_trace(
+            trace_path, rank_tracers=list(fd.rank_tracers())
+        )
+        say(f"merged per-replica trace: {trace_path} ({n} slices)")
+
+    say(f"CLUSTER_GOODPUT={report.goodput_qps:.1f}")
+    say(f"CLUSTER_DEPLOY={status} swapped={swapped} dropped={dropped}")
+    say(f"CLUSTER_DIGEST={digest}")
+    return ServeDemoResult(
+        lines=lines,
+        goodput_qps=report.goodput_qps,
+        dropped=int(dropped),
+        swapped=swapped,
+        digest=digest,
+    )

@@ -1,0 +1,444 @@
+"""The cluster front door: admission control, routing, lifecycle, deploys.
+
+:class:`FrontDoor` is the single entry point for a multi-replica serving
+tier.  Every request passes through, in order:
+
+1. **Admission control** -- one global bound (``AdmissionPolicy.max_pending``)
+   over the *sum* of all replica queue depths, checked under one lock so
+   concurrent producers see deterministic decisions: a request over the bound
+   is either **degraded** (served immediately through the routed replica's
+   per-row fallback -- never lost, higher unit cost) or **rejected**
+   (:class:`~repro.serve.batcher.QueueFull` backpressure).
+2. **Routing** -- a pluggable policy from :mod:`.routing` picks among the
+   replicas currently READY; warming/draining/stopped replicas never see
+   traffic.
+3. **A replica's micro-batcher** -- the per-replica bounded queue from PR 1,
+   unchanged.
+
+Time is **simulated**: predictions are real NumPy work, but queue waits and
+batch service times come from a deterministic :class:`ServiceModel`, the
+same philosophy as :mod:`repro.gpusim` (real results, modeled clock).  The
+front door is an event-driven simulator: callers (the load generator) call
+:meth:`advance` at each event time and the front door services every batch
+whose exact start instant -- ``max(replica free, batch due)`` from
+:meth:`BatchQueue.ready_at` -- has passed, completing it ``service(n)``
+seconds later.  Replica spans land on per-replica rank-tagged tracers, so
+:func:`repro.obs.export_merged_chrome_trace` merges them like distributed
+ranks.
+
+Rolling deploys run as a state machine inside :meth:`advance`: one replica
+at a time is drained (in-flight and queued work finishes -- nothing is
+dropped), stopped, validated against probe rows, re-pinned to the new
+version, warmed, and re-admitted.  A validation failure flips the machine
+into rollback: the failing replica re-warms on its old version and every
+already-swapped replica is drained back, so the cluster converges to the
+pre-deploy state and the registry's active pointer never moves.  Only a
+fully-successful deploy calls ``registry.activate``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ...obs import get_registry
+from ..batcher import BatchPolicy, PendingPrediction, QueueFull
+from ..registry import DEFAULT_NAME, ModelRegistry
+from .replica import Replica, ReplicaState
+from .routing import Router, make_router
+
+__all__ = ["AdmissionPolicy", "DeployReport", "FrontDoor", "ServiceModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceModel:
+    """Deterministic batch service time: ``base_s + per_row_s * rows``.
+
+    The affine shape mirrors the measured behavior of batched tree inference
+    (fixed dispatch overhead, then linear in rows) and makes batching
+    worthwhile in the simulation for exactly the reason it is in reality.
+    """
+
+    base_s: float = 0.0005
+    per_row_s: float = 0.00002
+
+    def time(self, n_rows: int) -> float:
+        if n_rows <= 0:
+            return 0.0
+        return self.base_s + self.per_row_s * n_rows
+
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionPolicy:
+    """Global admission bound shared by every replica behind the front door."""
+
+    #: cap on total queued-but-unserviced requests across all replicas
+    max_pending: int = 1024
+    #: "degrade" (immediate per-row fallback) or "reject" (QueueFull)
+    overload: str = "degrade"
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        if self.overload not in ("degrade", "reject"):
+            raise ValueError(f"unknown overload policy {self.overload!r}")
+
+
+@dataclasses.dataclass
+class DeployReport:
+    """Outcome of one rolling deploy (living object while in progress)."""
+
+    new_version: str
+    old_version: str
+    swapped: List[int] = dataclasses.field(default_factory=list)
+    failed: bool = False
+    rolled_back: bool = False
+    done: bool = False
+    t_done: Optional[float] = None
+
+
+class _DeployMachine:
+    """Per-deploy state advanced by :meth:`FrontDoor.advance`."""
+
+    def __init__(
+        self,
+        new_version: str,
+        old_version: str,
+        probe_rows: np.ndarray,
+        expected: np.ndarray,
+        order: List[int],
+        tol: float,
+    ) -> None:
+        self.report = DeployReport(new_version=new_version, old_version=old_version)
+        self.probe_rows = probe_rows
+        self.expected = expected
+        self.pending = list(order)
+        self.current: Optional[int] = None
+        self.target = new_version
+        self.validating = True
+        self.tol = float(tol)
+
+
+class FrontDoor:
+    """Async front door composing N replicas behind shared admission control.
+
+    Parameters
+    ----------
+    registry:
+        Shared content-addressed registry; replicas pin versions from it and
+        a successful rolling deploy moves its active pointer.
+    n_replicas:
+        Replica count; each gets its own :class:`BatchPolicy` queue.
+    policy:
+        Per-replica batching policy (same policy object for every replica).
+    admission:
+        Global overload policy.
+    router:
+        Router instance or name (``round-robin`` / ``least-loaded`` /
+        ``hash``).
+    service:
+        Deterministic batch service-time model.
+    warm_rows:
+        Rows for warm-up predictions (defaults to a zero row); replicas only
+        go READY after a real prediction pass over these.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        n_replicas: int,
+        *,
+        policy: Optional[BatchPolicy] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        router: Union[Router, str] = "round-robin",
+        service: Optional[ServiceModel] = None,
+        warm_rows: Optional[np.ndarray] = None,
+        model_name: str = DEFAULT_NAME,
+    ) -> None:
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be positive")
+        self.registry = registry
+        self.model_name = model_name
+        self.admission = admission if admission is not None else AdmissionPolicy()
+        self.router: Router = (
+            make_router(router) if isinstance(router, str) else router
+        )
+        self.service = service if service is not None else ServiceModel()
+        active = registry.active(model_name)
+        if warm_rows is None:
+            warm_rows = np.zeros((1, active.flat.n_features), dtype=np.float64)
+        self.warm_rows = np.asarray(warm_rows, dtype=np.float64)
+        self.replicas: List[Replica] = []
+        for i in range(n_replicas):
+            r = Replica(i, registry, policy=policy, model_name=model_name)
+            r.warm_up(self.warm_rows, now=0.0)
+            self.replicas.append(r)
+        self._lock = threading.Lock()
+        self._deploy: Optional[_DeployMachine] = None
+        self.admitted = 0
+        self.degraded = 0
+        self.rejected = 0
+        reg = get_registry()
+        self._admitted_total = reg.counter(
+            "frontdoor_admitted_total", "requests admitted to a replica queue"
+        )
+        self._degraded_total = reg.counter(
+            "frontdoor_degraded_total", "requests shed to the per-row fallback"
+        )
+        self._rejected_total = reg.counter(
+            "frontdoor_rejected_total", "requests rejected by admission control"
+        )
+
+    # --------------------------------------------------------------- admission
+    def ready_replicas(self) -> List[Replica]:
+        return [r for r in self.replicas if r.state is ReplicaState.READY]
+
+    @property
+    def pending(self) -> int:
+        """Total queued requests across all replicas (the admission gauge)."""
+        return sum(r.queue_depth for r in self.replicas)
+
+    def submit(
+        self, row: np.ndarray, now: float, key: Optional[bytes] = None
+    ) -> PendingPrediction:
+        """Admit, route, and enqueue one request at simulated time ``now``.
+
+        Raises :class:`QueueFull` when admission rejects (``overload=
+        "reject"``, or no replica is READY).  Degraded requests return an
+        already-resolved handle with ``degraded=True``.
+        """
+        with self._lock:
+            ready = self.ready_replicas()
+            if not ready:
+                self.rejected += 1
+                self._rejected_total.inc()
+                raise QueueFull("no READY replica to accept traffic")
+            target = self.router.pick(ready, key)
+            if self.pending >= self.admission.max_pending:
+                if self.admission.overload == "reject":
+                    self.rejected += 1
+                    self._rejected_total.inc()
+                    raise QueueFull(
+                        f"cluster pending at max_pending={self.admission.max_pending}"
+                    )
+                self.degraded += 1
+                self._degraded_total.inc()
+                return target.batcher.shed(row, now)
+            self.admitted += 1
+            self._admitted_total.inc()
+            return target.submit(row, now)
+
+    # -------------------------------------------------------------- simulation
+    def _ready_at(self, r: Replica) -> Optional[float]:
+        """Exact instant ``r``'s head batch becomes due (None when empty).
+        Draining replicas flush as soon as they are free -- queued work does
+        not wait out ``max_wait`` on a replica leaving service."""
+        due = r.batcher.queue.ready_at()
+        if due is None:
+            return None
+        if r.state is ReplicaState.DRAINING:
+            deadline = r.batcher.queue.next_deadline()
+            assert deadline is not None
+            return deadline - r.batcher.policy.max_wait
+        return due
+
+    def next_action_time(self) -> Optional[float]:
+        """Earliest future simulated instant something happens: a batch
+        service can start, or a draining replica's in-flight work completes
+        (which may unblock the rolling deploy)."""
+        times: List[float] = []
+        for r in self.replicas:
+            if r.state not in (ReplicaState.READY, ReplicaState.DRAINING):
+                continue
+            due = self._ready_at(r)
+            if due is not None:
+                times.append(max(due, r.busy_until))
+            elif r.state is ReplicaState.DRAINING:
+                times.append(r.busy_until)
+        return min(times) if times else None
+
+    def advance(self, now: float) -> int:
+        """Service every batch whose start instant has passed, oldest first,
+        then advance the rolling-deploy machine.  Returns batches completed.
+
+        Causality: callers invoke ``advance`` at every event time in
+        nondecreasing order, so a batch due between two events is serviced
+        at the later event using exactly the items that had arrived --
+        arrivals at ``now`` are submitted *after* this call returns.
+        """
+        completed = 0
+        while True:
+            best: Optional[Replica] = None
+            best_start = 0.0
+            for r in self.replicas:
+                if r.state not in (ReplicaState.READY, ReplicaState.DRAINING):
+                    continue
+                due = self._ready_at(r)
+                if due is None:
+                    continue
+                start = max(due, r.busy_until)
+                if start <= now and (
+                    best is None
+                    or (start, r.replica_id) < (best_start, best.replica_id)
+                ):
+                    best, best_start = r, start
+            if best is None:
+                break
+            batch = best.batcher.take()
+            if not batch:  # pragma: no cover - ready_at guaranteed nonempty
+                continue
+            t_done = best_start + self.service.time(len(batch))
+            best.complete_batch(batch, best_start, t_done)
+            completed += 1
+        while self._advance_deploy(now):
+            pass
+        return completed
+
+    def quiesce(self, now: float) -> float:
+        """Drain every queue and finish any in-progress deploy; returns the
+        simulated time the last action completed."""
+        t = now
+        while True:
+            nxt = self.next_action_time()
+            if nxt is not None:
+                t = max(t, nxt)
+                self.advance(t)
+                continue
+            d = self._deploy
+            if d is None or d.report.done:
+                break
+            # deploy blocked with no schedulable batch: jump time past every
+            # in-flight completion so drains can finish; stop if stuck.
+            t = max(t, max((r.busy_until for r in self.replicas), default=t))
+            state = (d.current, len(d.pending), d.report.done)
+            self.advance(t)
+            if (d.current, len(d.pending), d.report.done) == state:
+                break
+        return t
+
+    # ---------------------------------------------------------------- deploys
+    @property
+    def deploy(self) -> Optional[DeployReport]:
+        return self._deploy.report if self._deploy is not None else None
+
+    def start_deploy(
+        self,
+        new_version: str,
+        probe_rows: np.ndarray,
+        expected: np.ndarray,
+        *,
+        now: float,
+        tol: float = 0.0,
+    ) -> DeployReport:
+        """Begin a rolling hot-swap to ``new_version``.
+
+        ``probe_rows``/``expected`` define validation: after each replica
+        drains, the new version's predictions over ``probe_rows`` must match
+        ``expected`` within ``tol`` (exactly, by default) or the deploy rolls
+        back.  The swap itself proceeds one replica at a time inside
+        :meth:`advance`; with ≥2 replicas the cluster keeps serving
+        throughout.
+        """
+        if self._deploy is not None and not self._deploy.report.done:
+            raise RuntimeError("a rolling deploy is already in progress")
+        self.registry.get(self.model_name, new_version)  # must exist
+        old = self.registry.active(self.model_name).version
+        probe_rows = np.asarray(probe_rows, dtype=np.float64)
+        expected = np.asarray(expected, dtype=np.float64)
+        if probe_rows.shape[0] != expected.shape[0]:
+            raise ValueError("probe_rows and expected must align")
+        order = [r.replica_id for r in self.replicas]
+        self._deploy = _DeployMachine(
+            new_version, old, probe_rows, expected, order, tol
+        )
+        self._advance_deploy(now)
+        return self._deploy.report
+
+    def _replica(self, rid: int) -> Replica:
+        return next(r for r in self.replicas if r.replica_id == rid)
+
+    def _advance_deploy(self, now: float) -> bool:
+        """One deploy-machine transition; True when progress was made."""
+        d = self._deploy
+        if d is None or d.report.done:
+            return False
+        if d.current is None:
+            if not d.pending:
+                if not d.report.failed:
+                    self.registry.activate(self.model_name, d.report.new_version)
+                d.report.done = True
+                d.report.t_done = now
+                return False
+            d.current = d.pending.pop(0)
+            r = self._replica(d.current)
+            if r.state is ReplicaState.READY:
+                r.begin_drain(now)
+                return True
+            return True  # already stopped/draining; fall through next call
+        r = self._replica(d.current)
+        if r.state is ReplicaState.DRAINING:
+            if not r.is_drained(now):
+                return False  # wait for in-flight/queued work
+            r.finish_drain(now)
+            return True
+        if r.state is ReplicaState.STOPPED:
+            if d.validating:
+                target_flat = self.registry.get(self.model_name, d.target).flat
+                probe_out = target_flat.predict(d.probe_rows)
+                bad = (
+                    not np.allclose(probe_out, d.expected, rtol=0.0, atol=d.tol)
+                    if d.tol > 0
+                    else not np.array_equal(probe_out, d.expected)
+                )
+                if bad:
+                    # rollback: this replica re-warms on its old pin, every
+                    # already-swapped replica is drained back to the old
+                    # version, and the active pointer never moves.
+                    d.report.failed = True
+                    d.report.rolled_back = True
+                    d.target = d.report.old_version
+                    d.validating = False
+                    d.pending = list(d.report.swapped)
+                    d.report.swapped = []
+                    r.warm_up(d.probe_rows, now)
+                    r.note_busy(now, now + self.service.time(len(d.probe_rows)))
+                    d.current = None
+                    return True
+            if r.version != d.target:
+                r.pin(d.target)
+            r.warm_up(d.probe_rows, now)
+            r.note_busy(now, now + self.service.time(len(d.probe_rows)))
+            if d.target == d.report.new_version:
+                d.report.swapped.append(r.replica_id)
+            d.current = None
+            return True
+        return False
+
+    # ------------------------------------------------------------- inspection
+    def summary(self, duration: Optional[float] = None) -> Dict[str, object]:
+        """JSON-safe cluster snapshot (admission counters + per-replica)."""
+        per_replica = []
+        for r in self.replicas:
+            s = r.stats.summary(duration)
+            s["replica"] = r.replica_id
+            s["state"] = r.state.value
+            s["version"] = r.version
+            s["served"] = r.served_total
+            if duration:
+                s["utilization"] = r.utilization(duration)
+            per_replica.append(s)
+        return {
+            "n_replicas": len(self.replicas),
+            "admitted": self.admitted,
+            "degraded": self.degraded,
+            "rejected": self.rejected,
+            "pending": self.pending,
+            "replicas": per_replica,
+        }
+
+    def rank_tracers(self) -> Sequence:
+        """Per-replica tracers, for ``export_merged_chrome_trace``."""
+        return [r.tracer for r in self.replicas]

@@ -1,0 +1,305 @@
+"""Closed-loop load generator for the serving cluster (simulated time).
+
+Benchmarking serving the way Anghel et al. benchmark training means
+controlled arrival processes and honest tail metrics, not "fire requests in
+a hot loop and average".  This module drives a :class:`~repro.serve.cluster.
+frontdoor.FrontDoor` with a **closed-loop** client population: each of
+``n_clients`` sends one request, waits for its response, optionally stalls
+consuming it (slow-client backpressure), thinks for a random gap, and sends
+again.  Closed loops self-throttle under overload -- exactly how real
+request-per-connection traffic behaves -- so latency distributions stay
+interpretable where an open loop would just grow an unbounded queue.
+
+Arrival processes (deterministically seeded):
+
+``poisson``
+    Exponential think gaps with mean ``mean_gap_s``.
+``bursty``
+    The same, but during the first ``burst_duty`` fraction of every
+    ``burst_period_s`` window the mean gap shrinks by ``burst_factor`` --
+    a square-wave modulated Poisson process (burst storms with quiet tails).
+
+Everything is event-driven on the front door's simulated clock: the
+generator pops send events from a heap, calls :meth:`FrontDoor.advance` at
+every event instant, and schedules service ticks off
+:meth:`FrontDoor.next_action_time`, so results are bit-reproducible for a
+given seed.  Predictions are real; only time is modeled.
+
+**Goodput** is deliberately strict: non-degraded responses completed within
+``slo_ms``, per second.  Degraded (shed) responses are answers, but they
+bypassed batching at a higher unit cost -- counting them would let an
+overloaded cluster claim healthy goodput by shedding everything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..batcher import PendingPrediction, QueueFull
+from .frontdoor import FrontDoor
+
+__all__ = ["LoadReport", "LoadSpec", "run_load"]
+
+#: an action is (time, fn(front_door, now)) -- e.g. start a mid-storm deploy
+Action = Tuple[float, Callable[[FrontDoor, float], None]]
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadSpec:
+    """Deterministic description of one load-generation run."""
+
+    #: closed-loop client population
+    n_clients: int = 32
+    #: stop issuing new sends after this much simulated time
+    duration_s: float = 2.0
+    #: "poisson" or "bursty"
+    arrival: str = "poisson"
+    #: mean think time between a response and the next send
+    mean_gap_s: float = 0.01
+    #: burst think-gap divisor (bursty only)
+    burst_factor: float = 8.0
+    #: burst square-wave period (bursty only)
+    burst_period_s: float = 0.5
+    #: fraction of each period spent bursting (bursty only)
+    burst_duty: float = 0.3
+    #: fraction of clients that stall before consuming each response
+    slow_client_frac: float = 0.0
+    #: per-response consume stall for slow clients (seconds)
+    slow_client_delay_s: float = 0.05
+    #: latency SLO for goodput accounting (milliseconds)
+    slo_ms: float = 50.0
+    #: retry backoff after an admission reject
+    retry_backoff_s: float = 0.02
+    #: rng seed (arrival gaps + row choice)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 1 or self.duration_s <= 0 or self.mean_gap_s <= 0:
+            raise ValueError("n_clients, duration_s, mean_gap_s must be positive")
+        if self.arrival not in ("poisson", "bursty"):
+            raise ValueError(f"unknown arrival process {self.arrival!r}")
+        if not 0.0 <= self.slow_client_frac <= 1.0:
+            raise ValueError("slow_client_frac must be in [0, 1]")
+
+
+@dataclasses.dataclass
+class LoadReport:
+    """What one run measured, JSON-safe via :meth:`payload`."""
+
+    spec: LoadSpec
+    n_replicas: int
+    router: str
+    duration_s: float
+    offered: int
+    completed: int
+    degraded: int
+    rejected: int
+    within_slo: int
+    goodput_qps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    replicas: List[Dict[str, float]]
+
+    @property
+    def reject_rate(self) -> float:
+        return self.rejected / self.offered if self.offered else 0.0
+
+    @property
+    def degrade_rate(self) -> float:
+        return self.degraded / self.offered if self.offered else 0.0
+
+    def payload(self) -> Dict[str, object]:
+        """Run-store payload; replica rows keyed by ``name`` so
+        ``flatten_metrics`` paths survive reordering."""
+        return {
+            "spec": dataclasses.asdict(self.spec),
+            "router": self.router,
+            "metrics": {
+                "n_replicas": self.n_replicas,
+                "offered": self.offered,
+                "completed": self.completed,
+                "within_slo": self.within_slo,
+                "goodput_qps": self.goodput_qps,
+                "p50_ms": self.p50_ms,
+                "p95_ms": self.p95_ms,
+                "p99_ms": self.p99_ms,
+                "reject_rate": self.reject_rate,
+                "degrade_rate": self.degrade_rate,
+                "replicas": [dict(r) for r in self.replicas],
+            },
+        }
+
+    def text(self) -> str:
+        lines = [
+            f"clients={self.spec.n_clients} arrival={self.spec.arrival} "
+            f"replicas={self.n_replicas} router={self.router} "
+            f"duration={self.duration_s:.3f}s",
+            f"  offered={self.offered} completed={self.completed} "
+            f"degraded={self.degraded} rejected={self.rejected}",
+            f"  latency p50={self.p50_ms:.3f}ms p95={self.p95_ms:.3f}ms "
+            f"p99={self.p99_ms:.3f}ms (SLO {self.spec.slo_ms:.0f}ms)",
+            f"  goodput={self.goodput_qps:.1f} qps "
+            f"reject_rate={self.reject_rate:.3f} "
+            f"degrade_rate={self.degrade_rate:.3f}",
+        ]
+        for r in self.replicas:
+            lines.append(
+                f"  {r['name']}: served={r['served']:.0f} "
+                f"util={r['utilization']:.2f} state={r['state']}"
+            )
+        return "\n".join(lines)
+
+
+class _Client:
+    __slots__ = ("client_id", "slow", "waiting", "t_sent")
+
+    def __init__(self, client_id: int, slow: bool) -> None:
+        self.client_id = client_id
+        self.slow = slow
+        self.waiting: Optional[PendingPrediction] = None
+        self.t_sent = 0.0
+
+
+def _gap(spec: LoadSpec, rng: np.random.Generator, now: float) -> float:
+    mean = spec.mean_gap_s
+    if spec.arrival == "bursty":
+        phase = (now % spec.burst_period_s) / spec.burst_period_s
+        if phase < spec.burst_duty:
+            mean = mean / spec.burst_factor
+    return float(rng.exponential(mean))
+
+
+def run_load(
+    fd: FrontDoor,
+    X: np.ndarray,
+    spec: LoadSpec,
+    actions: Optional[List[Action]] = None,
+) -> LoadReport:
+    """Drive ``fd`` with ``spec`` over request rows drawn from ``X``.
+
+    ``actions`` are scheduled callbacks on the simulated clock -- the demo
+    and bench use one to start a rolling deploy mid-storm.  Returns the
+    measured :class:`LoadReport`; the front door is quiesced (all queues
+    drained) before reporting, so no in-flight request is dropped.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2 or not len(X):
+        raise ValueError("X must be a non-empty 2-D row pool")
+    rng = np.random.default_rng(spec.seed)
+    n_slow = int(round(spec.slow_client_frac * spec.n_clients))
+    clients = [_Client(i, i < n_slow) for i in range(spec.n_clients)]
+
+    # (t, seq, kind, payload) -- seq breaks ties deterministically
+    events: List[Tuple[float, int, str, object]] = []
+    seq = 0
+
+    def push(t: float, kind: str, payload: object) -> None:
+        nonlocal seq
+        heapq.heappush(events, (t, seq, kind, payload))
+        seq += 1
+
+    for c in clients:
+        push(float(rng.exponential(spec.mean_gap_s)), "send", c)
+    for t_act, fn in actions or []:
+        push(float(t_act), "action", fn)
+
+    offered = completed = degraded = rejected = within_slo = 0
+    latencies: List[float] = []
+    last_tick = -1.0
+    t = 0.0
+
+    def settle(now: float) -> None:
+        """Resolve clients whose outstanding response arrived; schedule
+        their next sends (closed loop)."""
+        nonlocal completed, degraded, within_slo
+        for c in clients:
+            h = c.waiting
+            if h is None or not h.done:
+                continue
+            c.waiting = None
+            t_done = h.t_done if h.t_done is not None else now
+            lat = max(0.0, t_done - c.t_sent)
+            latencies.append(lat)
+            completed += 1
+            if h.degraded:
+                degraded += 1
+            elif lat * 1e3 <= spec.slo_ms:
+                within_slo += 1
+            t_next = t_done + (spec.slow_client_delay_s if c.slow else 0.0)
+            t_next += _gap(spec, rng, t_next)
+            if t_next <= spec.duration_s:
+                push(t_next, "send", c)
+
+    while events:
+        t, _, kind, payload = heapq.heappop(events)
+        fd.advance(t)
+        if kind == "send":
+            c = payload
+            if c.waiting is not None:  # pragma: no cover - closed loop invariant
+                continue
+            if t > spec.duration_s:
+                settle(t)
+                continue
+            row = X[int(rng.integers(0, len(X)))]
+            offered += 1
+            try:
+                handle = fd.submit(row, t, key=row.tobytes())
+            except QueueFull:
+                rejected += 1
+                t_retry = t + spec.retry_backoff_s
+                if t_retry <= spec.duration_s:
+                    push(t_retry, "send", c)
+                settle(t)
+                continue
+            c.waiting, c.t_sent = handle, t
+        elif kind == "action":
+            payload(fd, t)
+        settle(t)
+        nxt = fd.next_action_time()
+        if nxt is not None and nxt > t and nxt != last_tick:
+            push(nxt, "tick", None)
+            last_tick = nxt
+
+    t_end = fd.quiesce(t)
+    settle(t_end)
+    duration = max(t_end, spec.duration_s)
+
+    lat_ms = np.asarray(latencies, dtype=np.float64) * 1e3
+    p50, p95, p99 = (
+        (float(np.percentile(lat_ms, q)) for q in (50, 95, 99))
+        if len(lat_ms)
+        else (0.0, 0.0, 0.0)
+    )
+    replicas = []
+    for r in fd.replicas:
+        replicas.append(
+            {
+                "name": f"replica{r.replica_id}",
+                "served": float(r.served_total),
+                "utilization": r.utilization(duration),
+                "shed": float(r.stats.shed),
+                "state": r.state.value,
+                "version": r.version,
+            }
+        )
+    return LoadReport(
+        spec=spec,
+        n_replicas=len(fd.replicas),
+        router=getattr(fd.router, "name", type(fd.router).__name__),
+        duration_s=duration,
+        offered=offered,
+        completed=completed,
+        degraded=degraded,
+        rejected=rejected,
+        within_slo=within_slo,
+        goodput_qps=(within_slo / duration) if duration > 0 else 0.0,
+        p50_ms=p50,
+        p95_ms=p95,
+        p99_ms=p99,
+        replicas=replicas,
+    )

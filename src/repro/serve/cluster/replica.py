@@ -1,0 +1,223 @@
+"""One serving replica: a pinned model version + micro-batcher + lifecycle.
+
+A :class:`Replica` is the unit of horizontal scale.  It owns
+
+* a :class:`~repro.serve.batcher.MicroBatcher` whose source is a callable
+  resolving to the replica's **pinned** :class:`~repro.serve.registry.
+  ModelVersion` -- pinning is what makes a rolling deploy possible: the
+  registry's *active* pointer can move while this replica keeps serving the
+  version it was warmed on, until the front door drains and re-pins it;
+* a rank-tagged :class:`~repro.obs.tracer.Tracer` running on the cluster's
+  simulated clock, so per-replica batch spans merge into one Chrome trace
+  exactly like the distributed trainer's per-rank traces (pid ``10 + id``);
+* its lifecycle state machine::
+
+      WARMING --warm_up--> READY --begin_drain--> DRAINING --finish_drain--> STOPPED
+                             ^                                   |
+                             +------------- re-admit ------------+
+                                  (rolling deploy: pin + warm_up)
+
+  Only READY replicas accept traffic.  ``finish_drain`` asserts the queue is
+  empty and freezes :attr:`served_total`; any submit after that is a bug and
+  raises -- the rolling-deploy drill test pins this.
+
+The replica performs *real* predictions; only time is modeled.  Busy time is
+accumulated per batch (:meth:`note_busy`) so the load generator can report
+per-replica utilization.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ...obs import Tracer
+from ..batcher import BatchPolicy, MicroBatcher, PendingPrediction
+from ..flat_model import FlatEnsemble
+from ..registry import DEFAULT_NAME, ModelRegistry
+from ..stats import ServingStats
+
+__all__ = ["Replica", "ReplicaState"]
+
+
+class ReplicaState(enum.Enum):
+    WARMING = "warming"
+    READY = "ready"
+    DRAINING = "draining"
+    STOPPED = "stopped"
+
+
+class Replica:
+    """One model-serving worker behind the front door.
+
+    Parameters
+    ----------
+    replica_id:
+        Stable integer identity (routing ties, trace pid, metric label).
+    registry:
+        The shared content-addressed registry versions are pinned from.
+    version:
+        Version id to pin at construction (defaults to the active version).
+    policy:
+        Per-replica batching policy (each replica has its own bounded queue).
+    model_name:
+        Registry model name.
+    """
+
+    def __init__(
+        self,
+        replica_id: int,
+        registry: ModelRegistry,
+        *,
+        version: Optional[str] = None,
+        policy: Optional[BatchPolicy] = None,
+        model_name: str = DEFAULT_NAME,
+    ) -> None:
+        self.replica_id = int(replica_id)
+        self.registry = registry
+        self.model_name = model_name
+        self.state = ReplicaState.WARMING
+        self._pinned = registry.get(
+            model_name, version if version is not None else
+            registry.active(model_name).version
+        )
+        self._sim_now = 0.0
+        self.tracer = Tracer(
+            tags={"rank": self.replica_id, "replica": f"r{self.replica_id}"},
+            clock=lambda: self._sim_now,
+        )
+        self.stats = ServingStats()
+        self.batcher = MicroBatcher(
+            self._resolve_pinned,
+            policy=policy,
+            stats=self.stats,
+            clock=lambda: self._sim_now,
+            replica=f"r{self.replica_id}",
+        )
+        #: accumulated modeled service time (utilization numerator)
+        self.busy_s = 0.0
+        #: simulated instant this replica's in-flight batch completes
+        self.busy_until = 0.0
+        #: requests completed by this replica (frozen at finish_drain)
+        self.served_total = 0
+        self._served_frozen: Optional[int] = None
+
+    # ---------------------------------------------------------------- version
+    def _resolve_pinned(self) -> Tuple[FlatEnsemble, Optional[str]]:
+        return self._pinned.flat, self._pinned.version
+
+    @property
+    def version(self) -> str:
+        """Digest of the version this replica is serving."""
+        return self._pinned.version
+
+    def pin(self, version: str) -> None:
+        """Serve ``version`` from now on (cache invalidates on next resolve).
+
+        Only legal while not serving traffic -- a READY replica must be
+        drained first so no in-flight batch straddles two versions.
+        """
+        if self.state is ReplicaState.READY:
+            raise RuntimeError(
+                f"replica {self.replica_id} is READY; drain before re-pinning"
+            )
+        self._pinned = self.registry.get(self.model_name, version)
+
+    # -------------------------------------------------------------- lifecycle
+    def warm_up(self, rows: np.ndarray, now: float = 0.0) -> np.ndarray:
+        """Run real predictions through the pinned model, then go READY.
+
+        Returns the warm-up predictions so callers can validate them against
+        expected outputs (the rolling deploy's probe-row check).
+        """
+        if self.state not in (ReplicaState.WARMING, ReplicaState.STOPPED):
+            raise RuntimeError(
+                f"replica {self.replica_id} cannot warm up from {self.state.name}"
+            )
+        self._sim_now = now
+        with self.tracer.span(
+            "replica_warmup", rows=int(np.asarray(rows).shape[0]),
+            version=self.version,
+        ):
+            out = self._pinned.flat.predict(np.asarray(rows, dtype=np.float64))
+        self.state = ReplicaState.READY
+        self._served_frozen = None  # re-admitted: the drain freeze lifts
+        return out
+
+    def begin_drain(self, now: float) -> None:
+        """Stop accepting traffic; queued work will still be flushed."""
+        if self.state is not ReplicaState.READY:
+            raise RuntimeError(
+                f"replica {self.replica_id} cannot drain from {self.state.name}"
+            )
+        self._sim_now = now
+        with self.tracer.span("replica_drain_begin", queued=self.queue_depth):
+            self.state = ReplicaState.DRAINING
+
+    def is_drained(self, now: float) -> bool:
+        """True once a DRAINING replica has no queued or in-flight work."""
+        return (
+            self.state is ReplicaState.DRAINING
+            and self.queue_depth == 0
+            and self.busy_until <= now
+        )
+
+    def finish_drain(self, now: float) -> None:
+        """DRAINING -> STOPPED; freezes :attr:`served_total`."""
+        if not self.is_drained(now):
+            raise RuntimeError(
+                f"replica {self.replica_id} still has work "
+                f"(queued={self.queue_depth}, busy_until={self.busy_until})"
+            )
+        self._sim_now = now
+        self.state = ReplicaState.STOPPED
+        self._served_frozen = self.served_total
+
+    # ---------------------------------------------------------------- serving
+    @property
+    def queue_depth(self) -> int:
+        return self.batcher.queue_depth
+
+    def submit(self, row: np.ndarray, now: float) -> PendingPrediction:
+        """Enqueue one request (front door only routes to READY replicas)."""
+        if self.state is not ReplicaState.READY:
+            raise RuntimeError(
+                f"replica {self.replica_id} is {self.state.name}, not READY"
+            )
+        self._sim_now = now
+        return self.batcher.submit(row, now)
+
+    def complete_batch(self, batch, t_take: float, t_done: float) -> int:
+        """Finish ``batch`` at simulated ``t_done``, recording the service
+        span on this replica's tracer and charging busy time."""
+        if self._served_frozen is not None:
+            raise RuntimeError(
+                f"replica {self.replica_id} served a batch after drain completed"
+            )
+        self._sim_now = t_take
+        sp = self.tracer.start(
+            "replica_batch", batch=len(batch), version=self.version
+        )
+        self._sim_now = t_done
+        n = self.batcher.complete(batch, t_done)
+        self.tracer.end(sp, rows=n)
+        self.note_busy(t_take, t_done)
+        self.served_total += n
+        return n
+
+    def note_busy(self, t_start: float, t_end: float) -> None:
+        self.busy_s += max(0.0, t_end - t_start)
+        self.busy_until = max(self.busy_until, t_end)
+
+    def utilization(self, duration: float) -> float:
+        """Fraction of ``duration`` spent servicing batches."""
+        return self.busy_s / duration if duration > 0 else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Replica(id={self.replica_id}, state={self.state.name}, "
+            f"version={self.version}, depth={self.queue_depth}, "
+            f"served={self.served_total})"
+        )

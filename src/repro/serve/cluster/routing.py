@@ -1,0 +1,155 @@
+"""Pluggable request routing for the serving front door.
+
+A router answers one question: *given the replicas currently willing to take
+traffic, which one gets this request?*  The front door filters to READY
+replicas before asking, so routers never see warming/draining/stopped
+replicas and carry no lifecycle knowledge of their own.
+
+Three policies cover the space the bench explores:
+
+``round-robin``
+    Cheapest possible spread; ignores load.  The baseline every other policy
+    is judged against.
+``least-loaded``
+    Picks the replica with the smallest queue depth (ties broken by replica
+    id for determinism).  Adapts to slow replicas and uneven batch service.
+``hash``
+    Consistent hashing on an optional per-request key over a virtual-node
+    ring.  Keyed requests stick to a replica (cache affinity: the same
+    feature vector keeps hitting the same :class:`FeatureCache`), and a
+    replica joining/leaving only remaps the ring segments it owned.
+    Keyless requests fall back to round-robin.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Optional, Protocol, Sequence
+
+__all__ = [
+    "ConsistentHashRouter",
+    "LeastLoadedRouter",
+    "Router",
+    "RoundRobinRouter",
+    "make_router",
+]
+
+
+class _Routable(Protocol):
+    """What a router may look at (a subset of ``Replica``)."""
+
+    replica_id: int
+
+    @property
+    def queue_depth(self) -> int: ...
+
+
+class Router(Protocol):
+    def pick(
+        self, replicas: Sequence[_Routable], key: Optional[bytes] = None
+    ) -> _Routable: ...
+
+
+class RoundRobinRouter:
+    """Cycle through the candidate set in replica-id order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._turn = 0
+
+    def pick(
+        self, replicas: Sequence[_Routable], key: Optional[bytes] = None
+    ) -> _Routable:
+        if not replicas:
+            raise ValueError("no replicas available to route to")
+        ordered = sorted(replicas, key=lambda r: r.replica_id)
+        chosen = ordered[self._turn % len(ordered)]
+        self._turn += 1
+        return chosen
+
+
+class LeastLoadedRouter:
+    """Smallest queue depth wins; replica id breaks ties deterministically."""
+
+    name = "least-loaded"
+
+    def pick(
+        self, replicas: Sequence[_Routable], key: Optional[bytes] = None
+    ) -> _Routable:
+        if not replicas:
+            raise ValueError("no replicas available to route to")
+        return min(replicas, key=lambda r: (r.queue_depth, r.replica_id))
+
+
+def _ring_hash(data: bytes) -> int:
+    """Stable 64-bit ring position (blake2b; never Python's salted hash)."""
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+class ConsistentHashRouter:
+    """Consistent hashing over a virtual-node ring, round-robin fallback.
+
+    Each replica owns ``vnodes`` points on a 2^64 ring; a keyed request maps
+    to the first point clockwise from its hash.  Membership changes (a
+    replica draining out, a new one warming in) only remap keys in the
+    segments the changed replica owned -- the affinity of every other key
+    survives, which is exactly what a feature cache wants during a rolling
+    deploy.  The ring is rebuilt lazily whenever the candidate set differs
+    from the one it was built for.
+    """
+
+    name = "hash"
+
+    def __init__(self, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = int(vnodes)
+        self._ring_ids: tuple = ()
+        self._points: List[int] = []
+        self._owners: List[int] = []
+        self._fallback = RoundRobinRouter()
+
+    def _rebuild(self, replicas: Sequence[_Routable]) -> None:
+        ids = tuple(sorted(r.replica_id for r in replicas))
+        if ids == self._ring_ids:
+            return
+        points: List[tuple] = []
+        for rid in ids:
+            for v in range(self.vnodes):
+                points.append((_ring_hash(f"replica-{rid}#{v}".encode()), rid))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [o for _, o in points]
+        self._ring_ids = ids
+
+    def pick(
+        self, replicas: Sequence[_Routable], key: Optional[bytes] = None
+    ) -> _Routable:
+        if not replicas:
+            raise ValueError("no replicas available to route to")
+        if key is None:
+            return self._fallback.pick(replicas)
+        self._rebuild(replicas)
+        idx = bisect.bisect_right(self._points, _ring_hash(key)) % len(self._points)
+        owner = self._owners[idx]
+        by_id = {r.replica_id: r for r in replicas}
+        return by_id[owner]
+
+
+_ROUTERS = {
+    "round-robin": RoundRobinRouter,
+    "least-loaded": LeastLoadedRouter,
+    "hash": ConsistentHashRouter,
+}
+
+
+def make_router(name: str) -> Router:
+    """Router factory for CLI/bench config strings."""
+    try:
+        return _ROUTERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown router {name!r}; choose from {sorted(_ROUTERS)}"
+        ) from None

@@ -1,4 +1,9 @@
-"""Serving metrics: latency percentiles, throughput, cache/shed counters.
+"""Serving metrics: latency percentiles, throughput, shed/reject counters.
+
+Cache accounting does **not** live here: hit/miss/eviction counters belong to
+:class:`~repro.serve.feature_cache.FeatureCache`, which records them on the
+process-global :mod:`repro.obs` registry with a ``replica`` label so a
+cluster's caches aggregate into one exported family.
 
 One :class:`ServingStats` instance rides along with a
 :class:`~repro.serve.batcher.MicroBatcher`; every request outcome is recorded
@@ -60,12 +65,6 @@ class ServingStats:
             self._requests = registry.counter(
                 "serve_requests_total", "completed prediction requests"
             )
-            self._cache_hits = registry.counter(
-                "serve_cache_hits_total", "prediction cache hits"
-            )
-            self._cache_misses = registry.counter(
-                "serve_cache_misses_total", "prediction cache misses"
-            )
             self._shed = registry.counter(
                 "serve_shed_total", "requests served by the degraded per-row path"
             )
@@ -78,8 +77,6 @@ class ServingStats:
             )
             self._batches = Histogram("serve_batch_size", buckets=BATCH_SIZE_BUCKETS)
             self._requests = Counter("serve_requests_total")
-            self._cache_hits = Counter("serve_cache_hits_total")
-            self._cache_misses = Counter("serve_cache_misses_total")
             self._shed = Counter("serve_shed_total")
             self._rejected = Counter("serve_rejected_total")
         self._t_first: float | None = None
@@ -91,10 +88,6 @@ class ServingStats:
         if self._t_first is None:
             self._t_first = now
         self._t_last = now
-
-    def record_lookup(self, hit: bool) -> None:
-        """One prediction-cache probe (recorded at submit time)."""
-        (self._cache_hits if hit else self._cache_misses).inc()
 
     def record_request(self, latency: float, *, degraded: bool = False) -> None:
         """One completed request (served from a batch, the cache, or the
@@ -119,14 +112,6 @@ class ServingStats:
     @property
     def n_batches(self) -> int:
         return self._batches.count
-
-    @property
-    def cache_hits(self) -> int:
-        return int(self._cache_hits.value)
-
-    @property
-    def cache_misses(self) -> int:
-        return int(self._cache_misses.value)
 
     @property
     def shed(self) -> int:
@@ -156,11 +141,6 @@ class ServingStats:
     def mean_batch_size(self) -> float:
         return self._batches.mean
 
-    @property
-    def cache_hit_rate(self) -> float:
-        looked = self.cache_hits + self.cache_misses
-        return self.cache_hits / looked if looked else 0.0
-
     def throughput(self, duration: float | None = None) -> float:
         """Completed requests per second over ``duration`` (defaults to the
         observed first-to-last event window)."""
@@ -180,9 +160,6 @@ class ServingStats:
             "p95_ms": self.p95 * 1e3,
             "p99_ms": self.p99 * 1e3,
             "throughput_rps": self.throughput(duration),
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "cache_hit_rate": self.cache_hit_rate,
             "shed": self.shed,
             "rejected": self.rejected,
         }

@@ -136,11 +136,12 @@ class TestCache:
         hit = mb.submit(rows[0])
         assert hit.done and hit.cache_hit
         assert hit.result() == pytest.approx(flat.predict(rows[:1])[0], abs=1e-12)
-        assert mb.stats.cache_hits == 1
-        assert mb.stats.cache_misses == 4
+        assert mb.cache.hits == 1
+        assert mb.cache.misses == 4
         miss = mb.submit(rows[10])
         assert not miss.done
-        assert mb.stats.cache_misses == 5
+        assert mb.cache.misses == 5
+        assert mb.cache.hit_rate == pytest.approx(1 / 6)
 
     def test_lru_eviction(self, serving):
         flat, rows = serving
@@ -158,7 +159,27 @@ class TestCache:
         mb.submit(rows[0])
         mb.submit(rows[0])
         mb.poll()
-        assert mb.stats.cache_hits == 0
+        assert mb.cache.hits == 0 and mb.cache.misses == 0
+
+    def test_shared_obs_counters_carry_replica_label(self, serving):
+        from repro.obs import MetricsRegistry, use_registry
+
+        flat, rows = serving
+        with use_registry(MetricsRegistry()) as reg:
+            policy = BatchPolicy(max_batch=4, max_wait=1.0, cache_size=2)
+            mb = MicroBatcher(flat, policy=policy, clock=FakeClock(),
+                              replica="r7")
+            for r in rows[:4]:
+                mb.submit(r)
+            mb.drain()
+            mb.submit(rows[3])  # hit
+            samples = {
+                (s["name"], tuple(sorted(s["labels"].items()))): s["value"]
+                for s in reg.collect()
+            }
+        assert samples[("serve_cache_hits_total", (("replica", "r7"),))] == 1
+        assert samples[("serve_cache_misses_total", (("replica", "r7"),))] == 4
+        assert samples[("serve_cache_evictions_total", (("replica", "r7"),))] == 2
 
 
 # ----------------------------------------------------------- registry + swap
@@ -281,7 +302,15 @@ class TestStats:
     def test_empty_stats_are_zero(self):
         stats = ServingStats()
         assert stats.p50 == 0.0 and stats.throughput() == 0.0
-        assert stats.cache_hit_rate == 0.0
+
+    def test_cache_plumbing_removed_from_stats(self):
+        # satellite: cache accounting moved to FeatureCache + obs labels;
+        # the old single-process plumbing must stay dead
+        stats = ServingStats()
+        assert not hasattr(stats, "record_lookup")
+        assert not hasattr(stats, "cache_hits")
+        assert not hasattr(stats, "cache_hit_rate")
+        assert "cache_hits" not in stats.summary()
 
     def test_throughput_window(self):
         stats = ServingStats()
@@ -321,3 +350,85 @@ class TestStats:
     def test_pending_prediction_repr_free_slots(self):
         p = PendingPrediction()
         assert not p.done and p.value is None
+
+    def test_double_resolve_raises(self):
+        p = PendingPrediction()
+        p._resolve(1.0, None, 0.0)
+        with pytest.raises(RuntimeError, match="twice"):
+            p._resolve(2.0, None, 0.0)
+
+
+# --------------------------------------------------- transport-agnostic core
+class TestBatchCore:
+    def test_late_arrival_does_not_extend_deadline(self, serving):
+        """Regression (first-request-anchored deadline): a request arriving
+        just before the max-wait expiry must not push the flush out -- the
+        window is anchored to the *oldest* queued request, so the head is
+        never starved by a steady trickle of arrivals."""
+        flat, rows = serving
+        clock = FakeClock()
+        mb = MicroBatcher(
+            flat, policy=BatchPolicy(max_batch=32, max_wait=0.005), clock=clock
+        )
+        first = mb.submit(rows[0])  # head enqueued at t=0; deadline t=5ms
+        clock.advance(0.0049)
+        late = mb.submit(rows[1])  # 0.1ms before the deadline
+        assert mb.poll() == 0  # not due yet
+        clock.advance(0.0002)  # t=5.1ms: head has waited 5.1ms >= 5ms
+        assert mb.poll() == 2, "late arrival extended the head's wait window"
+        assert first.done and late.done
+        # and the core reports the anchor, not a re-armed deadline
+        assert mb.queue.next_deadline() is None
+
+    def test_next_deadline_anchored_to_head(self):
+        from repro.serve import BatchQueue
+
+        q = BatchQueue(max_batch=8, max_wait=0.01, max_queue=16)
+        assert q.next_deadline() is None and q.ready_at() is None
+        q.push("a", 1.0)
+        q.push("b", 1.005)
+        assert q.next_deadline() == pytest.approx(1.01)  # head + max_wait
+        assert q.ready_at() == pytest.approx(1.01)
+        assert not q.ready(1.009) and q.ready(1.01)
+
+    def test_ready_at_full_batch_is_fill_instant(self):
+        from repro.serve import BatchQueue
+
+        q = BatchQueue(max_batch=3, max_wait=10.0, max_queue=16)
+        for i, t in enumerate((1.0, 2.0, 3.5)):
+            q.push(i, t)
+        q.push(3, 4.0)
+        # due the moment the 3rd item arrived, not when the 4th did
+        assert q.ready_at() == pytest.approx(3.5)
+        batch = q.take_ready(3.5)
+        assert [item for item, _ in batch] == [0, 1, 2]
+        assert len(q) == 1
+
+    def test_push_refuses_beyond_max_queue(self):
+        from repro.serve import BatchQueue
+
+        q = BatchQueue(max_batch=8, max_wait=1.0, max_queue=2)
+        assert q.push("a", 0.0) and q.push("b", 0.0)
+        assert not q.push("c", 0.0)
+        assert len(q) == 2
+
+    def test_take_ready_complete_split_controls_latency(self, serving):
+        """The cluster transport completes batches at take + service time;
+        the recorded latency must include both queue wait and service."""
+        flat, rows = serving
+        mb = MicroBatcher(
+            flat, policy=BatchPolicy(max_batch=2, max_wait=1.0), clock=FakeClock()
+        )
+        h1 = mb.submit(rows[0], now=0.0)
+        h2 = mb.submit(rows[1], now=0.001)
+        batch = mb.take_ready(0.001)  # full batch due at second arrival
+        assert batch is not None and len(batch) == 2
+        assert mb.take_ready(0.001) is None
+        mb.complete(batch, now=0.004)  # transport adds 3ms service
+        assert h1.t_done == h2.t_done == 0.004
+        # recorded latencies span queue wait + service: 4ms and 3ms
+        assert mb.stats.percentile(100) == pytest.approx(0.004, abs=1e-9)
+        assert mb.stats.percentile(0) == pytest.approx(0.003, abs=1e-9)
+        expected = flat.predict(rows[:2])
+        assert h1.result() == pytest.approx(expected[0], abs=1e-12)
+        assert h2.result() == pytest.approx(expected[1], abs=1e-12)

@@ -1,0 +1,187 @@
+"""Load-generator tests: determinism, conservation, scaling, run-store."""
+
+import numpy as np
+import pytest
+
+from repro import GBDTParams, GPUGBDTTrainer
+from repro.data.datasets import make_dataset
+from repro.obs.runstore import RunStore, flatten_metrics, metric_direction
+from repro.serve import BatchPolicy, ModelRegistry
+from repro.serve.cluster import (
+    AdmissionPolicy,
+    FrontDoor,
+    LoadSpec,
+    ServiceModel,
+    run_load,
+)
+
+
+@pytest.fixture(scope="module")
+def served_model():
+    ds = make_dataset("susy", run_rows=250, seed=12)
+    model = GPUGBDTTrainer(GBDTParams(n_trees=4, max_depth=3)).fit(ds.X, ds.y)
+    return ds.X.to_dense().values, model
+
+
+def _door(model, X, n_replicas):
+    """A fresh front door sized so one replica saturates under the storm."""
+    registry = ModelRegistry()
+    registry.publish(model)
+    return FrontDoor(
+        registry,
+        n_replicas,
+        policy=BatchPolicy(max_batch=8, max_wait=0.002, max_queue=32),
+        admission=AdmissionPolicy(max_pending=24 * n_replicas, overload="degrade"),
+        router="least-loaded",
+        service=ServiceModel(base_s=0.002, per_row_s=0.0001),
+        warm_rows=X[:4],
+    )
+
+
+STORM = LoadSpec(
+    n_clients=48,
+    duration_s=0.3,
+    arrival="bursty",
+    mean_gap_s=0.003,
+    burst_factor=6.0,
+    burst_period_s=0.1,
+    burst_duty=0.4,
+    slow_client_frac=0.125,
+    slow_client_delay_s=0.01,
+    slo_ms=25.0,
+    seed=7,
+)
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="arrival"):
+            LoadSpec(arrival="uniform")
+        with pytest.raises(ValueError, match="positive"):
+            LoadSpec(n_clients=0)
+        with pytest.raises(ValueError, match="slow_client_frac"):
+            LoadSpec(slow_client_frac=1.5)
+
+
+class TestRunLoad:
+    def test_same_seed_same_payload(self, served_model):
+        """Bit-reproducible: two runs of the same spec against fresh but
+        identically-configured clusters produce identical payloads."""
+        X, model = served_model
+        a = run_load(_door(model, X, 2), X, STORM)
+        b = run_load(_door(model, X, 2), X, STORM)
+        assert a.payload() == b.payload()
+        assert a.replicas == b.replicas  # includes the version digest
+
+    def test_seed_actually_matters(self, served_model):
+        X, model = served_model
+        a = run_load(_door(model, X, 2), X, STORM)
+        c = run_load(
+            _door(model, X, 2),
+            X,
+            LoadSpec(**{**STORM.__dict__, "seed": 8}),
+        )
+        assert a.payload() != c.payload()
+
+    def test_conservation_no_request_lost(self, served_model):
+        """Every offered request is accounted for: completed + rejected ==
+        offered, and degraded responses are a subset of completed."""
+        X, model = served_model
+        report = run_load(_door(model, X, 1), X, STORM)
+        assert report.offered > 0
+        assert report.completed + report.rejected == report.offered
+        assert 0 <= report.degraded <= report.completed
+        assert report.within_slo <= report.completed - report.degraded
+        served = sum(r["served"] for r in report.replicas) + sum(
+            r["shed"] for r in report.replicas
+        )
+        assert served == report.completed
+
+    def test_cluster_beats_single_at_same_offered_load(self, served_model):
+        """The acceptance comparison, at test scale: same spec, same seed,
+        4 replicas sustain strictly higher goodput than 1."""
+        X, model = served_model
+        single = run_load(_door(model, X, 1), X, STORM)
+        cluster = run_load(_door(model, X, 4), X, STORM)
+        # the single replica is genuinely saturated...
+        assert single.degrade_rate > 0.0 or single.reject_rate > 0.0
+        # ...and horizontal scale pays
+        assert cluster.goodput_qps > single.goodput_qps
+        assert cluster.p99_ms > 0.0 and single.p99_ms > 0.0
+
+    def test_slow_clients_self_throttle(self, served_model):
+        """Closed loop: slowing every client's consume path lowers offered
+        load instead of growing an unbounded queue."""
+        X, model = served_model
+        fast = run_load(_door(model, X, 2), X, STORM)
+        slow = run_load(
+            _door(model, X, 2),
+            X,
+            LoadSpec(
+                **{
+                    **STORM.__dict__,
+                    "slow_client_frac": 1.0,
+                    "slow_client_delay_s": 0.05,
+                }
+            ),
+        )
+        assert slow.offered < fast.offered
+
+
+class TestRunStoreRoundTrip:
+    def test_payload_flattens_with_stable_keys(self, served_model):
+        X, model = served_model
+        report = run_load(_door(model, X, 2), X, STORM)
+        flat = flatten_metrics(report.payload()["metrics"])
+        assert "goodput_qps" in flat and "p99_ms" in flat
+        # replica rows are keyed by name, not list position
+        assert "replicas[name=replica0].utilization" in flat
+        assert "replicas[name=replica1].served" in flat
+        # gate direction: qps up is good, latency up is bad
+        assert metric_direction("goodput_qps") == "higher"
+        assert metric_direction("p99_ms") == "lower"
+
+    def test_submit_and_gate(self, served_model, tmp_path):
+        """BENCH_serving_cluster-shaped metrics round-trip through the run
+        store: submit -> gate skips without history -> gate passes with it."""
+        X, model = served_model
+        report = run_load(_door(model, X, 2), X, STORM)
+        metrics = report.payload()["metrics"]
+        ticks = iter(range(1, 10))
+        store = RunStore(
+            tmp_path / "runs",
+            clock=lambda: float(next(ticks)),
+            commit_resolver=lambda: "deadbeefca",
+        )
+        rec = store.submit("serving_cluster", metrics, note="storm")
+        assert rec.flat_metrics()["goodput_qps"] == pytest.approx(
+            report.goodput_qps
+        )
+        gate = store.gate("serving_cluster")
+        assert gate.ok and gate.skipped  # not enough history yet
+        store.submit("serving_cluster", metrics)
+        store.submit("serving_cluster", metrics)
+        gate = store.gate("serving_cluster")
+        assert gate.ok and not gate.skipped
+        assert not gate.regressions
+
+    def test_gate_flags_goodput_regression(self, served_model, tmp_path):
+        X, model = served_model
+        report = run_load(_door(model, X, 2), X, STORM)
+        metrics = report.payload()["metrics"]
+        ticks = iter(range(1, 10))
+        store = RunStore(
+            tmp_path / "runs",
+            clock=lambda: float(next(ticks)),
+            commit_resolver=lambda: "deadbeefca",
+        )
+        for _ in range(3):
+            store.submit("serving_cluster", metrics)
+        worse = dict(metrics)
+        worse["goodput_qps"] = metrics["goodput_qps"] * 0.5
+        worse["p99_ms"] = metrics["p99_ms"] * 3.0
+        store.submit("serving_cluster", worse)
+        gate = store.gate("serving_cluster")
+        assert not gate.ok
+        regressed = {f.key for f in gate.regressions}
+        assert "goodput_qps" in regressed and "p99_ms" in regressed
