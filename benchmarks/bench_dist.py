@@ -33,3 +33,9 @@ def test_dist(benchmark, quick):
     assert (
         by_layout["data-parallel"].comm_mb < by_layout["attribute-parallel"].comm_mb
     )
+
+    # sibling subtraction must shrink the allreduce payload without
+    # changing the trees (exact saving pinned in tests/test_dist_trainer.py)
+    for row in result.subtraction:
+        assert row.identical_model, f"W={row.workers} subtraction diverged"
+        assert row.ratio < 0.9, f"W={row.workers} saved too little: {row.ratio:.3f}"

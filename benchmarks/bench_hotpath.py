@@ -32,6 +32,9 @@ def test_hotpath(benchmark, quick):
     # the arena must never change the trees, at any scale
     for row in result.rows:
         assert row.identical_models, row.workload
+    # neither may sibling subtraction in the histogram trainer
+    for row in result.hist_rows:
+        assert row.identical_models, f"{row.workload} (subtraction)"
 
     if not quick:
         baseline = json.loads(
@@ -41,4 +44,12 @@ def test_hotpath(benchmark, quick):
         medium = result.row("medium")
         assert medium.speedup >= floor, (
             f"medium arena speedup {medium.speedup:.2f}x below gate {floor}x"
+        )
+        # subtraction must actually cut the find_split phase where it is on
+        # (modeled device seconds: deterministic, unlike the wall numbers)
+        hist_medium = result.hist_row("medium")
+        assert hist_medium.find_split_model_speedup > 1.0, (
+            "subtraction did not reduce modeled find_split time: "
+            f"{hist_medium.find_split_model_full_s:.6f}s -> "
+            f"{hist_medium.find_split_model_subtract_s:.6f}s"
         )

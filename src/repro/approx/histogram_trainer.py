@@ -40,13 +40,24 @@ import numpy as np
 
 from ..core.booster_model import GBDTModel
 from ..core.params import GBDTParams
+from ..core.sampling import GossSample, goss_sample
 from ..core.smartgd import GradientComputer
 from ..core.tree import DecisionTree
+from ..core.workspace import WorkspaceArena, arena_enabled_default
 from ..data.matrix import CSRMatrix
 from ..data.sorted_columns import build_sorted_columns
 from ..gpusim.kernel import GpuDevice
+from ..losses import goss_weighted_gradients
+from ..obs import get_registry, span
 from .fixedpoint import choose_shift, quantize_gradients
-from .histops import accumulate_histograms, leaf_values, scan_histograms
+from .histops import (
+    accumulate_histograms,
+    leaf_values,
+    plan_sibling_builds,
+    scan_histograms,
+    subtract_child_histogram,
+    subtract_enabled_default,
+)
 from .quantile import BinSpec, bin_column_values, build_bins
 
 __all__ = ["HistogramGBDTTrainer"]
@@ -57,6 +68,21 @@ class HistogramGBDTTrainer:
 
     Parameters mirror :class:`~repro.core.trainer.GPUGBDTTrainer`; the extra
     ``max_bins`` knob bounds the per-attribute quantile resolution.
+
+    ``use_subtraction`` enables the sibling-subtraction trick (build only
+    the smaller child's histogram per sibling pair, derive the other as
+    ``parent - built``; see :mod:`repro.approx.histops`).  It is exact in
+    fixed point, so models are **byte-identical** with the knob on or off;
+    ``REPRO_SUBTRACT=0`` flips the default, mirroring ``REPRO_ARENA``.
+    ``use_arena`` backs the per-level histogram tables (and gradient
+    buffers) with a reusable :class:`~repro.core.workspace.WorkspaceArena`.
+
+    GOSS (``params.goss_a < 1``) is supported by the depthwise policy of
+    this trainer only: each round keeps the top-``a`` fraction of rows by
+    |gradient| plus an amplified ``b``-sample of the rest (see
+    :func:`repro.core.sampling.goss_sample`).  Sampled training is not
+    byte-identical to full-data training -- it is pinned by a differential
+    accuracy gate instead (``tests/test_goss.py``).
     """
 
     GROW_POLICIES = ("depthwise", "lossguide")
@@ -70,6 +96,8 @@ class HistogramGBDTTrainer:
         row_scale: float = 1.0,
         grow_policy: str = "depthwise",
         max_leaves: int = 0,
+        use_arena: bool | None = None,
+        use_subtraction: bool | None = None,
     ) -> None:
         if max_bins < 2:
             raise ValueError("max_bins must be >= 2")
@@ -83,11 +111,31 @@ class HistogramGBDTTrainer:
         self.row_scale = float(row_scale)
         self.grow_policy = grow_policy
         self.max_leaves = int(max_leaves)
+        self.use_arena = (
+            arena_enabled_default() if use_arena is None else bool(use_arena)
+        )
+        self.arena = WorkspaceArena(enabled=self.use_arena)
+        self.use_subtraction = (
+            subtract_enabled_default()
+            if use_subtraction is None
+            else bool(use_subtraction)
+        )
         self.bins_: BinSpec | None = None
+        self._resume: List[DecisionTree] = []
+        self._round_goss: GossSample | None = None
 
     # ------------------------------------------------------------------- fit
-    def fit(self, X: CSRMatrix, y: np.ndarray) -> GBDTModel:
-        """Quantize once, then train ``params.n_trees`` histogram trees."""
+    def fit(
+        self, X: CSRMatrix, y: np.ndarray, *, init_model: GBDTModel | None = None
+    ) -> GBDTModel:
+        """Quantize once, then train ``params.n_trees`` histogram trees.
+
+        With ``init_model`` boosting resumes from the given ensemble:
+        margins are replayed in boosting order and the per-round GOSS
+        sampling index continues from ``init_model.n_trees``, so resumed
+        training is bit-identical to uninterrupted training (sampled or
+        not) -- the warm-start replay tests assert byte-equal models.
+        """
         p = self.params
         device = self.device
         y = np.asarray(y, dtype=np.float64)
@@ -96,6 +144,22 @@ class HistogramGBDTTrainer:
             raise ValueError("y size mismatch")
         if n < 2:
             raise ValueError("need at least 2 training instances")
+        if p.goss_a < 1.0 and self.grow_policy != "depthwise":
+            raise ValueError("GOSS requires the depthwise grow policy")
+        if init_model is not None:
+            if init_model.base_score != p.loss_fn.base_score(y):
+                raise ValueError(
+                    "init_model.base_score does not match the loss base "
+                    "score; resuming would shift every margin"
+                )
+            if init_model.params.learning_rate != p.learning_rate:
+                raise ValueError(
+                    "init_model was trained with a different learning_rate; "
+                    "resumed rounds would not match uninterrupted training"
+                )
+            self._resume = list(init_model.trees)
+        else:
+            self._resume = []
 
         base = self._base_score(y)
         self._nrows = self._global_rows(n)
@@ -130,9 +194,11 @@ class HistogramGBDTTrainer:
             mem.alloc("gradients_gh", n_full * 8)
             mem.alloc("predictions", n_full * 4)
             mem.alloc("instance_to_node", n_full * 4)
-            # the histogram-subtraction trick (sibling = parent - child)
-            # means only a small constant number of per-node tables must be
-            # resident; bins scale with the full-scale dimensionality
+            # two resident level-table generations (the arena's parity
+            # ping-pong): the previous level's tables stay live as the
+            # subtraction parents (sibling = parent - built child, see
+            # _find_splits) while the current level's are built; bins scale
+            # with the full-scale dimensionality
             mem.alloc(
                 "level_histograms",
                 total_bins * device.seg_scale * 4 * 16,
@@ -142,7 +208,8 @@ class HistogramGBDTTrainer:
         col_lens = np.diff(cols.col_offsets)
 
         gc = GradientComputer(
-            device, p.loss_fn, y, use_smartgd=p.use_smartgd, row_scale=self.row_scale, X=X
+            device, p.loss_fn, y, use_smartgd=p.use_smartgd, row_scale=self.row_scale,
+            X=X, workspace=self.arena,
         )
         # base may be globally computed (distributed); overwrite the local one
         gc.yhat[:] = base
@@ -153,6 +220,20 @@ class HistogramGBDTTrainer:
             self._round_start(round_)
             with device.phase("gradients"):
                 g, h = gc.compute()
+                # GOSS draws on the *raw* gradients, keyed by the global
+                # round index, so warm-start resume replays the identical
+                # sample; reweighting happens before the fixed-point shift
+                # is chosen so amplified magnitudes stay representable
+                goss = goss_sample(p.seed, round_, g, p.goss_a, p.goss_b)
+                if goss is not None:
+                    goss_weighted_gradients(
+                        g, h, goss.inst_mask, goss.amplified, goss.factor
+                    )
+                    get_registry().counter(
+                        "goss_rows_kept_total",
+                        "rows participating in GOSS-sampled boosting rounds",
+                    ).inc(goss.n_kept)
+                self._round_goss = goss
             shift = self._round_shift(g, h)
             gq, hq = quantize_gradients(g, h, shift)
             grow = (
@@ -161,9 +242,16 @@ class HistogramGBDTTrainer:
             tree = grow(
                 X, gq, hq, shift, ent_inst, ent_gbin, ent_attr, bin_offset, spec, col_lens, gc
             )
+            if goss is not None:
+                # sampled-out rows never reached a leaf; route them by
+                # traversal so yhat (hence the next round's gradients)
+                # covers every instance
+                gc.apply_tree_to(tree, np.flatnonzero(~goss.inst_mask))
             gc.on_tree_finished(tree)
             trees.append(tree)
             self._round_end(round_, trees)
+        self._round_goss = None
+        self.arena.publish_metrics()
         return GBDTModel(trees=trees, params=p, base_score=base)
 
     # ------------------------------------------------------------- tree grow
@@ -186,24 +274,38 @@ class HistogramGBDTTrainer:
         n, d = X.shape
         total_bins = int(bin_offset[-1])
 
-        root_gq, root_hq, root_n = self._root_sums(gq, hq, n)
+        goss = self._round_goss
+        if goss is None:
+            inst2local = np.zeros(n, dtype=np.int64)
+            root_gq, root_hq, root_n = self._root_sums(gq, hq, n)
+        else:
+            # excluded rows start settled (-1): they touch no histogram, no
+            # node count, and receive their leaf value by traversal later.
+            # Their (g, h) were zeroed, so full-array sums stay correct.
+            inst2local = np.where(goss.inst_mask, 0, -1).astype(np.int64)
+            root_gq, root_hq, root_n = self._root_sums(gq, hq, goss.n_kept)
         tree = DecisionTree()
         tree.add_root(root_n)
-        inst2local = np.zeros(n, dtype=np.int64)
         node_tree_ids = np.array([0], dtype=np.int64)
         node_gq = np.array([root_gq], dtype=np.int64)
         node_hq = np.array([root_hq], dtype=np.int64)
         node_n = np.array([root_n], dtype=np.int64)
+        # previous level's full tables + which of its locals split: the
+        # sibling-subtraction parents for the next level's _find_splits
+        parent_ctx = None
 
         for _depth in range(p.max_depth):
             n_active = node_tree_ids.size
 
-            with device.phase("find_split"):
+            with device.phase("find_split"), span(
+                "find_split", depth=_depth, nodes=n_active
+            ):
                 (
                     best_gain, best_attr, best_cut, best_dir, best_lgq, best_lhq, best_ln
-                ) = self._find_splits(
+                ), tables = self._find_splits(
                     gq, hq, shift, ent_inst, ent_gbin, inst2local, n_active, total_bins,
                     bin_offset, node_gq, node_hq, node_n, col_lens,
+                    parent=parent_ctx, depth=_depth,
                 )
 
             split_mask = (best_attr >= 0) & (best_gain > p.gamma)
@@ -290,6 +392,11 @@ class HistogramGBDTTrainer:
                 node_hq[0::2], node_hq[1::2] = lhq, phq - lhq
                 node_n[0::2], node_n[1::2] = ln, pn - ln
                 node_tree_ids = new_tree_ids
+                # next level's locals (2j, 2j+1) are the children of this
+                # level's split_locals[j]; its tables are their parents
+                parent_ctx = (
+                    (*tables, split_locals) if self.use_subtraction else None
+                )
 
         if node_tree_ids.size and (inst2local >= 0).any():
             values = leaf_values(node_gq, node_hq, shift, p.learning_rate, p.lambda_)
@@ -305,19 +412,46 @@ class HistogramGBDTTrainer:
         self,
         gq, hq, shift, ent_inst, ent_gbin, inst2local, n_active, total_bins,
         bin_offset, node_gq, node_hq, node_n, col_lens,
+        parent=None, depth=0,
     ):
         """Histogram accumulation + boundary enumeration for every node.
 
         Thin wrapper over the shared kernels of :mod:`repro.approx.histops`
         (also driven, with a ring allreduce in between, by
         :mod:`repro.dist.trainer`) plus this device's cost charges.
+
+        ``parent`` carries the previous level's *global* tables plus the
+        locals that split (``(p_gq, p_hq, p_c, split_locals)``): when
+        subtraction is on, only the smaller child of each sibling pair is
+        accumulated and reduced -- roughly halving both the scatter work
+        and, distributed, the allreduce payload -- and the sibling is
+        derived exactly as ``parent - built`` into arena tables ping-ponged
+        by level parity.  Returns ``(scan_results, (hist_gq, hist_hq,
+        hist_c))`` with the tables always full ``(n_active, total_bins)``.
         """
         device = self.device
         p = self.params
 
-        hist_gq, hist_hq, hist_c, n_live = accumulate_histograms(
-            gq, hq, ent_inst, ent_gbin, inst2local, n_active, total_bins
+        subtracting = (
+            self.use_subtraction and parent is not None and n_active % 2 == 0
         )
+        if subtracting:
+            # node_n is global (post-reduce), so every dist rank plans the
+            # same builds; instances of to-be-derived nodes are masked out
+            build_locals, derive_locals = plan_sibling_builds(node_n)
+            build_of = np.full(n_active, -1, dtype=np.int64)
+            build_of[build_locals] = np.arange(build_locals.size, dtype=np.int64)
+            inst2build = np.where(
+                inst2local >= 0, build_of[np.maximum(inst2local, 0)], -1
+            )
+            hist_gq, hist_hq, hist_c, n_live = accumulate_histograms(
+                gq, hq, ent_inst, ent_gbin, inst2build,
+                build_locals.size, total_bins,
+            )
+        else:
+            hist_gq, hist_hq, hist_c, n_live = accumulate_histograms(
+                gq, hq, ent_inst, ent_gbin, inst2local, n_active, total_bins
+            )
         device.launch(
             "accumulate_histograms",
             elements=n_live,
@@ -326,6 +460,36 @@ class HistogramGBDTTrainer:
             irregular_bytes=n_live * 24,  # atomic adds into node tables
         )
         hist_gq, hist_hq, hist_c = self._reduce_histograms(hist_gq, hist_hq, hist_c)
+        if subtracting:
+            p_gq, p_hq, p_c, parent_locals = parent
+            with span(
+                "hist.subtract", depth=depth, derived=int(derive_locals.size)
+            ):
+                parity = depth & 1
+                t_gq = self.arena.buf2d(f"hist/gq/{parity}", n_active, total_bins, np.int64)
+                t_hq = self.arena.buf2d(f"hist/hq/{parity}", n_active, total_bins, np.int64)
+                t_c = self.arena.buf2d(f"hist/c/{parity}", n_active, total_bins, np.int64)
+                t_gq[build_locals] = hist_gq
+                t_hq[build_locals] = hist_hq
+                t_c[build_locals] = hist_c
+                # pair j's parent row: both operands are global tables, so
+                # the derived sibling is the global histogram, exactly
+                sib = subtract_child_histogram(
+                    p_gq[parent_locals], p_hq[parent_locals], p_c[parent_locals],
+                    hist_gq, hist_hq, hist_c,
+                )
+                t_gq[derive_locals], t_hq[derive_locals], t_c[derive_locals] = sib
+                device.launch(
+                    "subtract_sibling_histograms",
+                    elements=derive_locals.size * total_bins,
+                    flops_per_element=3.0,
+                    coalesced_bytes=derive_locals.size * total_bins * 72,
+                )
+                get_registry().counter(
+                    "subtract_skipped_total",
+                    "sibling histograms derived by subtraction instead of built",
+                ).inc(int(derive_locals.size))
+            hist_gq, hist_hq, hist_c = t_gq, t_hq, t_c
         device.launch(
             "scan_histograms_for_best_split",
             elements=n_active * total_bins,
@@ -335,7 +499,7 @@ class HistogramGBDTTrainer:
         return scan_histograms(
             hist_gq, hist_hq, hist_c, node_gq, node_hq, node_n,
             bin_offset, shift, p.lambda_,
-        )
+        ), (hist_gq, hist_hq, hist_c)
 
     # -------------------------------------------------- distribution hooks
     # Every quantity whose value must be *global* for the grown trees to be
@@ -375,10 +539,12 @@ class HistogramGBDTTrainer:
 
     def _initial_trees(self) -> List[DecisionTree]:
         """Ensemble to resume from (checkpoint recovery when sharded)."""
-        return []
+        return list(self._resume)
 
     def _warm_start(self, gc: GradientComputer) -> None:
         """Seed predictions with :meth:`_initial_trees` margins."""
+        if self._resume:
+            gc.warm_start(self._resume)
 
     def _round_start(self, round_: int) -> None:
         """Per-round synchronization / fault-injection point."""
@@ -435,7 +601,9 @@ class HistogramGBDTTrainer:
             gn, hn, nn = node_stats[node_id]
             local = np.where(inst2node == node_id, 0, -1).astype(np.int64)
             with device.phase("find_split"):
-                (gain, attr, cut, dirs, lgq, lhq, ln) = self._find_splits(
+                # one node per call, so there is no sibling pair to subtract
+                # from -- lossguide growth always builds its histograms
+                (gain, attr, cut, dirs, lgq, lhq, ln), _ = self._find_splits(
                     gq, hq, shift, ent_inst, ent_gbin, local, 1, total_bins,
                     bin_offset, np.array([gn], dtype=np.int64),
                     np.array([hn], dtype=np.int64),

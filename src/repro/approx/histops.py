@@ -1,14 +1,26 @@
-"""Shared histogram kernels: integer accumulation, split scan, leaf values.
+"""Shared histogram kernels: integer accumulation, subtraction, split scan.
 
 Both :class:`repro.approx.histogram_trainer.HistogramGBDTTrainer` (one
 process) and :class:`repro.dist.trainer.DistributedHistTrainer` (W
-row-sharded workers) drive the same two functions:
+row-sharded workers) drive the same functions:
 
 * :func:`accumulate_histograms` -- per-(node, attribute, bin) int64 sums of
   the fixed-point gradients (:mod:`repro.approx.fixedpoint`) over whatever
   entry subset the caller owns.  Integer sums are associative, so local
   histograms ring-allreduced across workers equal the monolithic bincount
   **exactly**.
+* :func:`plan_sibling_builds` / :func:`subtract_child_histogram` -- the
+  sibling-subtraction trick (Mitchell et al., GPU XGBoost): a level's
+  active nodes arrive in (left, right) sibling pairs whose instance sets
+  partition the parent's, so the trainer accumulates only the **smaller**
+  child of each pair and derives the larger one as ``parent - smaller``.
+  Because every table is an exact int64 sum, the identity
+  ``parent == left + right`` holds bit-for-bit and subtraction is **exact**
+  -- not an approximation -- which is why the subtraction path grows
+  byte-identical models while skipping roughly half the accumulation work
+  per level (and, distributed, halving the histogram allreduce payload:
+  only built children are reduced; siblings are derived locally from the
+  already-global parent tables).
 * :func:`scan_histograms` -- cumulative sums plus Eq.-(2) gain enumeration
   over the (already global) histograms, returning the best split of every
   node.  It is a pure function of the histogram integers, so every worker
@@ -29,7 +41,22 @@ import numpy as np
 from ..core.split import eq2_gain, quantize_gain
 from .fixedpoint import inv_scale
 
-__all__ = ["accumulate_histograms", "scan_histograms", "leaf_values"]
+__all__ = [
+    "accumulate_histograms",
+    "plan_sibling_builds",
+    "scan_histograms",
+    "subtract_child_histogram",
+    "subtract_enabled_default",
+    "leaf_values",
+]
+
+
+def subtract_enabled_default() -> bool:
+    """Whether new histogram trainers use sibling subtraction
+    (``REPRO_SUBTRACT=0`` disables, mirroring ``REPRO_ARENA``)."""
+    import os
+
+    return os.environ.get("REPRO_SUBTRACT", "1") != "0"
 
 
 def accumulate_histograms(
@@ -69,6 +96,70 @@ def accumulate_histograms(
         np.bincount(idx, minlength=size).astype(np.int64).reshape(n_active, total_bins)
     )
     return hist_gq, hist_hq, hist_c, int(live.sum())
+
+
+def plan_sibling_builds(
+    node_n: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Which locals of a sibling level to build vs derive by subtraction.
+
+    ``node_n`` holds the **global** instance counts of the level's active
+    nodes, ordered as (left, right) sibling pairs -- the layout
+    ``_grow_tree`` produces for every depth > 0.  For each pair the smaller
+    child (ties -> left) is built by accumulation and its sibling derived as
+    ``parent - built``.  Distributed callers must pass post-allreduce counts
+    so every rank picks the same side.
+
+    Returns ``(build_locals, derive_locals)``; ``derive_locals[i]`` is the
+    sibling of ``build_locals[i]`` (i.e. ``build_locals[i] ^ 1``).
+    """
+    node_n = np.asarray(node_n)
+    if node_n.size % 2:
+        raise ValueError("sibling level must hold an even number of nodes")
+    pairs = node_n.reshape(-1, 2)
+    right_smaller = pairs[:, 1] < pairs[:, 0]
+    base = np.arange(pairs.shape[0], dtype=np.int64) * 2
+    build_locals = base + right_smaller
+    derive_locals = build_locals ^ 1
+    return build_locals, derive_locals
+
+
+def subtract_child_histogram(
+    parent_gq: np.ndarray,
+    parent_hq: np.ndarray,
+    parent_c: np.ndarray,
+    child_gq: np.ndarray,
+    child_hq: np.ndarray,
+    child_c: np.ndarray,
+    out: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sibling histogram by exact int64 subtraction: ``parent - child``.
+
+    Every input is an exact fixed-point sum over a node's instances and a
+    node's instance set is the disjoint union of its children's, so the
+    subtraction reproduces the sibling's accumulated table bit-for-bit --
+    no floats are involved at any point.  ``out`` optionally provides
+    destination arrays (arena buffers); fresh arrays are allocated
+    otherwise.
+
+    Raises ``ValueError`` if any count would go negative -- that means the
+    supplied child is not a child of the supplied parent, and silently
+    returning garbage histograms would corrupt split decisions downstream.
+    """
+    if out is None:
+        sib_gq = np.empty_like(parent_gq)
+        sib_hq = np.empty_like(parent_hq)
+        sib_c = np.empty_like(parent_c)
+    else:
+        sib_gq, sib_hq, sib_c = out
+    np.subtract(parent_gq, child_gq, out=sib_gq)
+    np.subtract(parent_hq, child_hq, out=sib_hq)
+    np.subtract(parent_c, child_c, out=sib_c)
+    if sib_c.size and int(sib_c.min()) < 0:
+        raise ValueError(
+            "negative sibling count: child histogram is not contained in parent"
+        )
+    return sib_gq, sib_hq, sib_c
 
 
 def scan_histograms(

@@ -16,6 +16,12 @@ Two experiments on one fixed synthetic workload:
   The crossover this table shows is the reason production systems shard
   rows, not columns, at scale.
 
+* **Subtraction comm volume** -- the data-parallel allreduce payload with
+  sibling histogram subtraction off vs. on: reducing only the smaller
+  child of each sibling pair roughly halves the histogram traffic at every
+  level past the root, byte-identically (``tests/test_dist_trainer.py``
+  pins the exact analytic saving).
+
 Run via pytest (``benchmarks/bench_dist.py``) or directly::
 
     PYTHONPATH=src python -m repro.bench.distbench
@@ -40,6 +46,7 @@ __all__ = [
     "DistBenchResult",
     "LayoutRow",
     "ScalingRow",
+    "SubtractionRow",
     "run_dist_bench",
     "write_dist_json",
 ]
@@ -81,6 +88,23 @@ class LayoutRow:
 
 
 @dataclasses.dataclass
+class SubtractionRow:
+    """Collective payload with sibling histogram subtraction off vs. on.
+
+    With subtraction only the smaller child of each sibling pair is
+    allreduced (the sibling is derived locally as ``parent - built``), so
+    every level past the root ships half its histogram tables.  The models
+    must stay byte-identical -- the saving may not come from changing the
+    trees."""
+
+    workers: int
+    comm_mb_full: float
+    comm_mb_subtract: float
+    ratio: float
+    identical_model: bool
+
+
+@dataclasses.dataclass
 class DistBenchResult:
     """Scaling curve + layout comparison, with the rendered tables."""
 
@@ -92,6 +116,7 @@ class DistBenchResult:
     #: modeled seconds per training phase on the largest scaling run's
     #: slowest rank (regression attribution for the run-store gate)
     phases: Dict[str, float] = dataclasses.field(default_factory=dict)
+    subtraction: List[SubtractionRow] = dataclasses.field(default_factory=list)
 
     @property
     def text(self) -> str:
@@ -116,6 +141,23 @@ class DistBenchResult:
             lines.append(
                 f"{r.layout:>20} {r.devices:>8} {r.comm_mb:>10.3f} {r.modeled_s*1e3:>13.3f}"
             )
+        if self.subtraction:
+            lines.append("")
+            hdr3 = (
+                f"{'workers':>8} {'full (MB)':>10} {'subtract (MB)':>14}"
+                f" {'ratio':>7}  identical"
+            )
+            lines += [
+                "histogram allreduce volume -- sibling subtraction off vs. on",
+                hdr3,
+                "-" * len(hdr3),
+            ]
+            for s in self.subtraction:
+                lines.append(
+                    f"{s.workers:>8} {s.comm_mb_full:>10.3f}"
+                    f" {s.comm_mb_subtract:>14.3f} {s.ratio:>7.3f}"
+                    f"  {'yes' if s.identical_model else 'NO'}"
+                )
         return "\n".join(lines)
 
 
@@ -187,9 +229,34 @@ def run_dist_bench(quick: bool = False) -> DistBenchResult:
         )
     )
 
+    subtraction: List[SubtractionRow] = []
+    for w in ((2,) if quick else (2, 4)):
+        volumes = {}
+        models = {}
+        for use_sub in (False, True):
+            t = DistributedHistTrainer(
+                params, n_workers=w, max_bins=_MAX_BINS, backend="sim",
+                use_subtraction=use_sub,
+            )
+            models[use_sub] = t.fit(X, y)
+            volumes[use_sub] = t.comm_bytes()
+        subtraction.append(
+            SubtractionRow(
+                workers=w,
+                comm_mb_full=volumes[False] / 1e6,
+                comm_mb_subtract=volumes[True] / 1e6,
+                ratio=volumes[True] / volumes[False],
+                identical_model=(
+                    models[True].to_json() == models[False].to_json()
+                    == reference
+                ),
+            )
+        )
+
     return DistBenchResult(
         scaling=scaling,
         layouts=layouts,
+        subtraction=subtraction,
         n_rows=cfg["n_rows"],
         n_cols=cfg["n_cols"],
         n_trees=cfg["n_trees"],
@@ -228,6 +295,12 @@ def main(argv: List[str] | None = None) -> int:
     print(f"[-> {write_dist_json(result, args.out)}]")
     if not all(r.identical_model for r in result.scaling):
         print("ERROR: sharding changed the trees")
+        return 1
+    if not all(s.identical_model for s in result.subtraction):
+        print("ERROR: histogram subtraction changed the trees")
+        return 1
+    if not all(s.ratio < 1.0 for s in result.subtraction):
+        print("ERROR: subtraction did not shrink the collective payload")
         return 1
     return 0
 

@@ -44,6 +44,14 @@ class GBDTParams:
     #: stochastic GBM (off by default -- the paper trains deterministically)
     subsample: float = 1.0  # rows per tree
     colsample_bytree: float = 1.0  # attributes per tree
+    #: gradient-based one-side sampling (GOSS; Ke et al. / Ou 2005.09148).
+    #: ``goss_a`` keeps the top-a fraction of rows by |gradient| each round;
+    #: the remaining low-|g| rows are sampled at rate ``goss_b`` and their
+    #: gradient/hessian amplified by (1-a)/b so the histogram totals stay
+    #: unbiased.  a=1 disables GOSS entirely (the default: exact training).
+    #: Only the histogram trainer implements GOSS (single-process, depthwise).
+    goss_a: float = 1.0
+    goss_b: float = 0.1
 
     # -- RLE compression (Section III-C) -------------------------------------
     use_rle: bool = True
@@ -78,6 +86,15 @@ class GBDTParams:
             raise ValueError("subsample must be in (0, 1]")
         if not (0 < self.colsample_bytree <= 1):
             raise ValueError("colsample_bytree must be in (0, 1]")
+        if not (0 < self.goss_a <= 1):
+            raise ValueError("goss_a must be in (0, 1]")
+        if self.goss_a < 1:
+            if self.goss_b <= 0:
+                raise ValueError("goss_b must be > 0 when goss_a < 1")
+            if self.goss_a + self.goss_b > 1:
+                raise ValueError("goss_a + goss_b must be <= 1")
+        elif not (0 <= self.goss_b <= 1):
+            raise ValueError("goss_b must be in [0, 1]")
         if self.rle_policy not in RLE_POLICIES:
             raise ValueError(f"rle_policy must be one of {RLE_POLICIES}")
         if self.setkey_c < 1:

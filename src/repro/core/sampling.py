@@ -1,4 +1,4 @@
-"""Per-tree stochastic sampling (row subsample / column subsample).
+"""Per-tree stochastic sampling (row/column subsample, GOSS).
 
 Stochastic gradient boosting is standard GBDT-library surface (XGBoost's
 ``subsample`` / ``colsample_bytree``); the paper trains deterministically,
@@ -8,6 +8,15 @@ The draw is a pure function of ``(seed, tree_index, n, d)``, shared by the
 GPU trainer and the CPU reference, so the identical-trees property extends
 to stochastic runs (asserted by tests): both implementations see exactly
 the same rows and columns for every tree.
+
+:func:`goss_sample` adds gradient-based one-side sampling (GOSS; Ke et al.
+LightGBM, Ou 2005.09148): unlike :func:`sample_tree`'s uniform draw it looks
+at the round's gradients, keeping every high-|g| row and only a random
+fraction of the low-|g| rest.  It too is a pure function of its arguments
+(the rng stream is keyed by ``(seed, round_index)`` on a multiplier disjoint
+from :func:`sample_tree`'s), which is what makes GOSS training
+seed-deterministic across warm-start resume: the resumed round recomputes
+bit-identical gradients, hence draws the identical sample.
 """
 
 from __future__ import annotations
@@ -16,7 +25,7 @@ import dataclasses
 
 import numpy as np
 
-__all__ = ["TreeSample", "sample_tree"]
+__all__ = ["TreeSample", "sample_tree", "GossSample", "goss_sample"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -75,3 +84,71 @@ def sample_tree(
     else:
         attrs = np.arange(d, dtype=np.int64)
     return TreeSample(inst_mask=inst_mask, attrs=attrs, _d=d)
+
+
+@dataclasses.dataclass(frozen=True)
+class GossSample:
+    """One round's gradient-based one-side sample."""
+
+    #: (n,) bool; True = instance participates in this round's tree
+    inst_mask: np.ndarray
+    #: (n,) bool; True = low-|g| row that was sampled in and must have its
+    #: gradient/hessian amplified by :attr:`factor` (subset of inst_mask)
+    amplified: np.ndarray
+    #: the (1 - a) / b amplification applied to sampled low-|g| rows
+    factor: float
+
+    @property
+    def n_kept(self) -> int:
+        return int(self.inst_mask.sum())
+
+
+def goss_sample(
+    seed: int,
+    round_index: int,
+    g: np.ndarray,
+    top_rate: float,
+    other_rate: float,
+) -> GossSample | None:
+    """Deterministic GOSS row draw for one boosting round.
+
+    Keeps the ``top_rate`` fraction of rows with the largest ``|g|``
+    (stable argsort, so ties resolve by ascending row id on every platform)
+    and a uniform ``other_rate`` fraction of the remaining rows, which get
+    their gradients amplified by ``(1 - top_rate) / other_rate`` to keep
+    histogram totals approximately unbiased (Ke et al., Thm. 3.2 keeps the
+    split-gain estimator consistent under this reweighting).
+
+    Returns ``None`` when ``top_rate == 1`` -- GOSS off is *exactly* the
+    unsampled code path, consuming no randomness, which the byte-identity
+    property tests pin.
+    """
+    if not (0 < top_rate <= 1):
+        raise ValueError("top_rate must be in (0, 1]")
+    if top_rate == 1.0:
+        return None
+    if other_rate <= 0 or top_rate + other_rate > 1:
+        raise ValueError("need other_rate > 0 and top_rate + other_rate <= 1")
+    n = g.shape[0]
+    n_top = max(1, int(round(n * top_rate)))
+    # stable sort on -|g|: largest gradients first, ties by row id
+    order = np.argsort(-np.abs(g), kind="stable")
+    top = order[:n_top]
+    rest = order[n_top:]
+    n_other = min(rest.size, max(1, int(round(n * other_rate))))
+    # rng stream disjoint from sample_tree's (different multiplier)
+    rng = np.random.default_rng(
+        (int(seed) & 0x7FFFFFFF) * 2_000_003 + int(round_index)
+    )
+    sampled = rng.choice(rest.size, size=n_other, replace=False) if rest.size else []
+    inst_mask = np.zeros(n, dtype=bool)
+    inst_mask[top] = True
+    amplified = np.zeros(n, dtype=bool)
+    if rest.size:
+        amplified[rest[sampled]] = True
+        inst_mask |= amplified
+    return GossSample(
+        inst_mask=inst_mask,
+        amplified=amplified,
+        factor=(1.0 - top_rate) / other_rate,
+    )

@@ -193,6 +193,11 @@ class GPUGBDTTrainer:
             raise ValueError("need at least 2 training instances")
         if d < 1:
             raise ValueError("need at least 1 attribute")
+        if p.goss_a < 1.0:
+            raise ValueError(
+                "GOSS (goss_a < 1) is only implemented by the histogram "
+                "trainer; the exact trainer supports uniform subsample="
+            )
         init_trees: List[DecisionTree] = [] if init_model is None else list(init_model.trees)
         round_offset = len(init_trees)
         if init_model is not None:

@@ -132,6 +132,18 @@ class WorkspaceArena:
             self.n_reuses += 1
         return cur[:size]
 
+    def buf2d(self, name: str, rows: int, cols: int, dtype) -> np.ndarray:
+        """An *uninitialized* ``(rows, cols)`` view backed by :meth:`buf`.
+
+        Backing storage is the flat buffer keyed by ``(name, dtype)``, so a
+        table that shrinks or grows between levels (histogram node tables)
+        reuses the same allocation.  The histogram trainer ping-pongs two
+        names by level parity -- ``hist/gq/0`` holds even-depth tables while
+        ``hist/gq/1`` holds odd-depth ones -- so a level's parent tables
+        stay alive (for sibling subtraction) while its children are built.
+        """
+        return self.buf(name, rows * cols, dtype).reshape(rows, cols)
+
     def full(self, name: str, size: int, dtype, fill) -> np.ndarray:
         """Like :meth:`buf` but filled with ``fill``."""
         out = self.buf(name, size, dtype)

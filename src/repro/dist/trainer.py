@@ -21,6 +21,15 @@ hook                distributed implementation
                     broadcast (comm volume is O(bins), not O(rows))
 ==================  =====================================================
 
+With sibling subtraction on (the default, see
+:mod:`repro.approx.histops`) the shared grow loop hands
+``_reduce_histograms`` only the **smaller child** of each sibling pair, so
+the per-level allreduce payload roughly halves; every rank then derives
+the sibling locally as ``parent - built`` from the previous level's
+already-global tables.  Both operands being global keeps the derivation
+exact and rank-identical -- subtraction is inherited through the hook with
+no distributed-specific code.
+
 Because gradients are fixed-point quantized (:mod:`repro.approx.fixedpoint`)
 all reductions are exact and order-independent, so the W-worker model is
 **byte-identical** to single-worker training for any W -- the differential
@@ -81,9 +90,11 @@ class _WorkerTrainer(HistogramGBDTTrainer):
         store: Optional[CheckpointStore],
         checkpoint_every: int,
         row_scale: float,
+        use_subtraction: bool | None = None,
     ) -> None:
         super().__init__(
-            params, coll.device, max_bins=max_bins, row_scale=row_scale
+            params, coll.device, max_bins=max_bins, row_scale=row_scale,
+            use_subtraction=use_subtraction,
         )
         self.coll = coll
         self._n_global = int(n_global)
@@ -193,12 +204,21 @@ class DistributedHistTrainer:
         checkpoint_every: int = 1,
         row_scale: float = 1.0,
         work_scale: float = 1.0,
+        use_subtraction: bool | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if backend not in ("sim", "threaded"):
             raise ValueError("backend must be 'sim' or 'threaded'")
         self.params = params if params is not None else GBDTParams()
+        if self.params.goss_a < 1.0:
+            # GOSS samples on *global* gradient order; a row-sharded draw
+            # would need an extra top-k collective -- not implemented
+            raise ValueError(
+                "GOSS (goss_a < 1) is not supported by the distributed "
+                "trainer; use the single-process HistogramGBDTTrainer"
+            )
+        self.use_subtraction = use_subtraction
         self.n_workers = int(n_workers)
         self.max_bins = int(max_bins)
         self.backend = backend
@@ -259,6 +279,7 @@ class DistributedHistTrainer:
                     store=store if coll.rank == 0 else None,
                     checkpoint_every=self.checkpoint_every,
                     row_scale=self.row_scale,
+                    use_subtraction=self.use_subtraction,
                 )
                 return trainer.fit(X_local, y_local)
 

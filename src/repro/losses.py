@@ -34,7 +34,32 @@ __all__ = [
     "PoissonLoss",
     "CustomLoss",
     "get_loss",
+    "goss_weighted_gradients",
 ]
+
+
+def goss_weighted_gradients(
+    g: np.ndarray,
+    h: np.ndarray,
+    inst_mask: np.ndarray,
+    amplified: np.ndarray,
+    factor: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Apply a GOSS sample's reweighting to a round's ``(g, h)`` in place.
+
+    Rows outside ``inst_mask`` are zeroed (they contribute nothing to any
+    histogram or node total, so root sums over the full arrays stay
+    correct); ``amplified`` rows -- the sampled low-|g| survivors -- get
+    **both** derivatives scaled by ``factor = (1-a)/b``, the standard GOSS
+    information-gain correction (scaling g alone would bias leaf values
+    ``-G/(H + lambda)``).  Returns the same arrays for convenience.
+    """
+    excluded = ~inst_mask
+    g[excluded] = 0.0
+    h[excluded] = 0.0
+    g[amplified] *= factor
+    h[amplified] *= factor
+    return g, h
 
 
 class Loss:

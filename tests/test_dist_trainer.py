@@ -21,6 +21,7 @@ from repro.approx.quantile import (
 from repro.data import make_dataset
 from repro.data.sorted_columns import build_sorted_columns
 from repro.dist import DistributedHistTrainer, FaultPlan, WorkerFailure
+from repro.obs import MetricsRegistry, use_registry
 from repro.pipeline.checkpoint import model_digest
 
 from tests.conftest import random_csr
@@ -183,3 +184,77 @@ class TestCrashRecovery:
         model = trainer.fit(ds.X, ds.y)
         assert model.to_json() == _single_model(ds).to_json()
         assert trainer.comm_stats_[1].wait_s >= 0.01 * PARAMS.n_trees
+
+
+# ------------------------------------------------- subtraction comm volume
+class TestSubtractionCommVolume:
+    """Sibling subtraction must shrink the histogram allreduce by exactly
+    the smaller-child fraction: at every level past the root only half the
+    sibling tables are reduced, so the saved payload is, in
+    ``test_ext_comm_accounting`` style, a closed-form replay of the grown
+    trees:
+
+        saved = sum over trees and levels L >= 1 of
+                3 * total_bins * 8 * (n_active(L) / 2) * 2 * (W - 1)
+
+    (three int64 tables per level; the simulated ring allreduce charges
+    ``nbytes * 2(W-1)/W`` per rank, summed over W ranks).  n_active(L) is
+    the node count at depth L of the final tree -- exact because levels are
+    entered iff nodes exist there and siblings always arrive in pairs.
+    Every other collective (sketches, root sums, shift max) is identical in
+    both runs and cancels in the difference.
+    """
+
+    W = 3
+
+    def _fit(self, ds, use_subtraction):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            trainer = DistributedHistTrainer(
+                PARAMS,
+                n_workers=self.W,
+                max_bins=MAX_BINS,
+                use_subtraction=use_subtraction,
+            )
+            model = trainer.fit(ds.X, ds.y)
+        counter = registry.get(
+            "collective_bytes_total", backend="sim", op="allreduce"
+        )
+        return model, trainer, counter.value
+
+    def test_counter_drop_matches_analytic_formula(self, covtype_small):
+        ds = covtype_small
+        model_on, t_on, bytes_on = self._fit(ds, True)
+        model_off, t_off, bytes_off = self._fit(ds, False)
+        assert model_on.to_json() == model_off.to_json()
+
+        single = HistogramGBDTTrainer(PARAMS, max_bins=MAX_BINS)
+        single.fit(ds.X, ds.y)
+        spec = single.bins_
+        total_bins = sum(spec.n_bins(j) for j in range(ds.X.shape[1]))
+
+        saved = 0.0
+        for tree in model_on.trees:
+            depths = np.asarray(tree.depth)
+            for lvl in range(1, PARAMS.max_depth):
+                n_active = int((depths == lvl).sum())
+                if n_active == 0:
+                    break
+                assert n_active % 2 == 0
+                saved += 3 * total_bins * 8 * (n_active / 2) * 2 * (self.W - 1)
+
+        assert saved > 0, "no level ever subtracted -- workload too shallow"
+        assert bytes_off - bytes_on == pytest.approx(saved, rel=1e-9)
+        # the same saving shows in the per-rank CollectiveStats ledgers
+        assert t_off.comm_bytes() - t_on.comm_bytes() == pytest.approx(
+            saved, rel=1e-9
+        )
+
+    def test_reduction_is_roughly_half_of_histogram_traffic(self, covtype_small):
+        """Sanity on magnitude: the histogram share of allreduce traffic
+        drops by ~50% (never more, never trivially little)."""
+        ds = covtype_small
+        _, _, bytes_on = self._fit(ds, True)
+        _, _, bytes_off = self._fit(ds, False)
+        ratio = bytes_on / bytes_off
+        assert 0.5 <= ratio < 0.9

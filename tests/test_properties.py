@@ -237,6 +237,62 @@ def test_arena_on_off_identity(problem, rle_policy):
     assert on.to_json() == off.to_json()
 
 
+@given(adversarial_problem(), st.sampled_from([4, 16]))
+@SETTINGS
+def test_hist_subtraction_on_off_identity(problem, max_bins):
+    """Sibling subtraction is exact int64 arithmetic, not an approximation:
+    the histogram trainer must serialize byte-identical models with it on
+    and off, across the adversarial layouts."""
+    from repro.approx.histogram_trainer import HistogramGBDTTrainer
+
+    X, _, _, y, _ = problem
+    p = GBDTParams(n_trees=2, max_depth=4)
+    on = HistogramGBDTTrainer(p, max_bins=max_bins, use_subtraction=True).fit(X, y)
+    off = HistogramGBDTTrainer(p, max_bins=max_bins, use_subtraction=False).fit(X, y)
+    assert on.to_json() == off.to_json()
+
+
+@given(adversarial_problem())
+@SETTINGS
+def test_goss_off_is_exactly_full_training(problem):
+    """GOSS at a=1 must take the pre-sampling code path bit-for-bit --
+    consuming no randomness and touching no gradient -- whatever b is set
+    to.  (Params differ, so compare trees, not serialized JSON.)"""
+    from repro.approx.histogram_trainer import HistogramGBDTTrainer
+
+    X, _, _, y, _ = problem
+    base = GBDTParams(n_trees=2, max_depth=4)
+    off = GBDTParams(n_trees=2, max_depth=4, goss_a=1.0, goss_b=0.7)
+    a = HistogramGBDTTrainer(base, max_bins=16).fit(X, y)
+    b = HistogramGBDTTrainer(off, max_bins=16).fit(X, y)
+    assert models_equal(a, b)
+
+
+@pytest.mark.parametrize("w", [1, 2, 4])
+def test_dist_subtraction_and_goss_off_identity(w):
+    """The W-sharded trainer inherits both knobs through the shared grow
+    loop: subtraction on/off and GOSS-off must land on the single-process
+    reference model for W in {1, 2, 4}."""
+    from repro.approx.histogram_trainer import HistogramGBDTTrainer
+    from repro.data import make_dataset
+    from repro.dist import DistributedHistTrainer
+
+    ds = make_dataset("covtype", run_rows=160, seed=13)
+    p = GBDTParams(n_trees=3, max_depth=4, seed=7)
+    reference = HistogramGBDTTrainer(
+        p, max_bins=16, use_subtraction=False
+    ).fit(ds.X, ds.y).to_json()
+    for use_subtraction in (True, False):
+        model = DistributedHistTrainer(
+            p, n_workers=w, max_bins=16, use_subtraction=use_subtraction
+        ).fit(ds.X, ds.y)
+        assert model.to_json() == reference
+    goss_off = DistributedHistTrainer(
+        p.replace(goss_b=0.5), n_workers=w, max_bins=16
+    ).fit(ds.X, ds.y)
+    assert models_equal(goss_off, HistogramGBDTTrainer(p, max_bins=16).fit(ds.X, ds.y))
+
+
 @given(adversarial_problem())
 @SETTINGS
 def test_predictions_within_label_hull(problem):

@@ -169,6 +169,63 @@ class TestLockstepOffsets:
         assert 9.1 + offsets[0] == pytest.approx(0.1 + offsets[1])
 
 
+# --------------------------------------------------- hot-path span coverage
+class TestHotPathSpans:
+    """The subtraction/GOSS hot path must be visible in the same merged
+    timeline used to diagnose everything else: every rank emits per-level
+    ``hist.subtract`` spans under its own pid, and the engagement counters
+    land in the active registry."""
+
+    def test_subtract_spans_per_rank_in_merged_trace(self):
+        from repro import GBDTParams
+        from repro.data import make_dataset
+        from repro.dist import DistributedHistTrainer
+        from repro.obs import use_tracer
+
+        ds = make_dataset("covtype", run_rows=160, seed=13)
+        registry = MetricsRegistry()
+        with use_registry(registry), use_tracer(Tracer()):
+            trainer = DistributedHistTrainer(
+                GBDTParams(n_trees=2, max_depth=4, seed=7),
+                n_workers=2,
+                max_bins=16,
+                use_subtraction=True,
+            )
+            trainer.fit(ds.X, ds.y)
+
+        events = merged_chrome_trace_events(rank_tracers=trainer.rank_tracers_)
+        for r in range(2):
+            subs = [
+                e
+                for e in events
+                if e.get("ph") == "X"
+                and e["pid"] == RANK_PID_BASE + r
+                and e["name"] == "hist.subtract"
+            ]
+            assert subs, f"rank {r} emitted no hist.subtract spans"
+            # each span names the level and how many tables it derived
+            for e in subs:
+                assert e["args"]["depth"] >= 1
+                assert e["args"]["derived"] >= 1
+        skipped = registry.get("subtract_skipped_total")
+        assert skipped is not None and skipped.value > 0
+
+    def test_goss_counter_lands_in_registry(self):
+        from repro import GBDTParams
+        from repro.approx.histogram_trainer import HistogramGBDTTrainer
+        from repro.data import make_dataset
+
+        ds = make_dataset("covtype", run_rows=160, seed=13)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            HistogramGBDTTrainer(
+                GBDTParams(n_trees=2, max_depth=3, goss_a=0.3, goss_b=0.3),
+                max_bins=16,
+            ).fit(ds.X, ds.y)
+        kept = registry.get("goss_rows_kept_total")
+        assert kept is not None and kept.value > 0
+
+
 # ------------------------------------------------------------ wait metrics
 class TestWaitMetrics:
     def test_threaded_run_records_wait_per_rank(self):
