@@ -165,47 +165,10 @@ class HistogramGBDTTrainer:
         self._nrows = self._global_rows(n)
 
         with device.phase("setup"):
-            csc = X.to_csc()
-            cols = build_sorted_columns(csc, device)
-            spec = self._bin_spec(cols)
+            spec, ent_inst, ent_gbin, ent_attr, bin_offset, col_lens = (
+                self._setup_entries(X)
+            )
             self.bins_ = spec
-            ent_bin = bin_column_values(spec, cols)
-            ent_inst = cols.inst
-            ent_attr = np.repeat(
-                np.arange(d, dtype=np.int64), np.diff(cols.col_offsets)
-            )
-            device.launch(
-                "quantize_to_bins",
-                elements=X.nnz,
-                flops_per_element=np.log2(max(self.max_bins, 2)),
-                coalesced_bytes=X.nnz * (8 + 4),
-            )
-            # device state: per-entry (instance id, global bin id) -- the
-            # quantized matrix replaces the sorted value lists entirely
-            bin_offset = np.zeros(d + 1, dtype=np.int64)
-            np.cumsum([spec.n_bins(j) for j in range(d)], out=bin_offset[1:])
-            ent_gbin = bin_offset[ent_attr] + ent_bin
-            total_bins = int(bin_offset[-1])
-            device.transfer("upload_quantized_matrix", X.nnz * 8 + total_bins * 8)
-            mem = device.memory
-            nnz_full = X.nnz * device.work_scale
-            n_full = n * self.row_scale
-            mem.alloc("quantized_entries", nnz_full * 8)
-            mem.alloc("gradients_gh", n_full * 8)
-            mem.alloc("predictions", n_full * 4)
-            mem.alloc("instance_to_node", n_full * 4)
-            # two resident level-table generations (the arena's parity
-            # ping-pong): the previous level's tables stay live as the
-            # subtraction parents (sibling = parent - built child, see
-            # _find_splits) while the current level's are built; bins scale
-            # with the full-scale dimensionality
-            mem.alloc(
-                "level_histograms",
-                total_bins * device.seg_scale * 4 * 16,
-            )
-
-        # per-attribute present counts for missing-mass bookkeeping
-        col_lens = np.diff(cols.col_offsets)
 
         gc = GradientComputer(
             device, p.loss_fn, y, use_smartgd=p.use_smartgd, row_scale=self.row_scale,
@@ -366,18 +329,9 @@ class HistogramGBDTTrainer:
                 attr_of_node = np.full(n_active, -2, dtype=np.int64)
                 cut_of_node[split_locals] = best_cut[split_locals]
                 attr_of_node[split_locals] = best_attr[split_locals]
-                ent_node = np.where(ent_inst >= 0, inst2local[ent_inst], -1)
-                ent_node_safe = np.maximum(ent_node, 0)
-                sel = (ent_node >= 0) & (ent_attr == attr_of_node[ent_node_safe])
-                local_bin = ent_gbin[sel] - bin_offset[ent_attr[sel]]
-                goes_left = local_bin < cut_of_node[ent_node[sel]]
-                side_inst[ent_inst[sel]] = np.where(goes_left, 0, 1)
-                device.launch(
-                    "route_instances_by_bin",
-                    elements=n * self.row_scale,
-                    flops_per_element=2.0,
-                    coalesced_bytes=n * self.row_scale * 9,
-                    scale=False,
+                self._route_by_entries(
+                    ent_inst, ent_gbin, ent_attr, inst2local, attr_of_node,
+                    cut_of_node, bin_offset, side_inst, n,
                 )
                 inst2local = np.where(active, new_local_of[safe] + side_inst, -1)
 
@@ -444,21 +398,14 @@ class HistogramGBDTTrainer:
             inst2build = np.where(
                 inst2local >= 0, build_of[np.maximum(inst2local, 0)], -1
             )
-            hist_gq, hist_hq, hist_c, n_live = accumulate_histograms(
+            hist_gq, hist_hq, hist_c = self._accumulate_entries(
                 gq, hq, ent_inst, ent_gbin, inst2build,
                 build_locals.size, total_bins,
             )
         else:
-            hist_gq, hist_hq, hist_c, n_live = accumulate_histograms(
+            hist_gq, hist_hq, hist_c = self._accumulate_entries(
                 gq, hq, ent_inst, ent_gbin, inst2local, n_active, total_bins
             )
-        device.launch(
-            "accumulate_histograms",
-            elements=n_live,
-            flops_per_element=3.0,
-            coalesced_bytes=n_live * 12,
-            irregular_bytes=n_live * 24,  # atomic adds into node tables
-        )
         hist_gq, hist_hq, hist_c = self._reduce_histograms(hist_gq, hist_hq, hist_c)
         if subtracting:
             p_gq, p_hq, p_c, parent_locals = parent
@@ -510,6 +457,108 @@ class HistogramGBDTTrainer:
     # byte-identical to single-process training by construction: the hooks
     # return the same values (exact integer/max reductions), and everything
     # downstream is the same code.
+
+    def _setup_entries(self, X: CSRMatrix):
+        """Quantize the training matrix into the per-entry stream.
+
+        Returns ``(spec, ent_inst, ent_gbin, ent_attr, bin_offset,
+        col_lens)``.  The in-memory trainer materializes the full
+        ``(instance id, global bin, attribute)`` arrays on the device; the
+        out-of-core trainer (:mod:`repro.stream.trainer`) overrides this to
+        build spillable row-range blocks instead and returns ``None`` entry
+        handles, with :meth:`_accumulate_entries` and
+        :meth:`_route_by_entries` iterating its block store.
+        """
+        device = self.device
+        n, d = X.shape
+        csc = X.to_csc()
+        cols = build_sorted_columns(csc, device)
+        spec = self._bin_spec(cols)
+        ent_bin = bin_column_values(spec, cols)
+        ent_inst = cols.inst
+        ent_attr = np.repeat(
+            np.arange(d, dtype=np.int64), np.diff(cols.col_offsets)
+        )
+        device.launch(
+            "quantize_to_bins",
+            elements=X.nnz,
+            flops_per_element=np.log2(max(self.max_bins, 2)),
+            coalesced_bytes=X.nnz * (8 + 4),
+        )
+        # device state: per-entry (instance id, global bin id) -- the
+        # quantized matrix replaces the sorted value lists entirely
+        bin_offset = np.zeros(d + 1, dtype=np.int64)
+        np.cumsum([spec.n_bins(j) for j in range(d)], out=bin_offset[1:])
+        ent_gbin = bin_offset[ent_attr] + ent_bin
+        total_bins = int(bin_offset[-1])
+        device.transfer("upload_quantized_matrix", X.nnz * 8 + total_bins * 8)
+        mem = device.memory
+        nnz_full = X.nnz * device.work_scale
+        n_full = n * self.row_scale
+        mem.alloc("quantized_entries", nnz_full * 8)
+        mem.alloc("gradients_gh", n_full * 8)
+        mem.alloc("predictions", n_full * 4)
+        mem.alloc("instance_to_node", n_full * 4)
+        # two resident level-table generations (the arena's parity
+        # ping-pong): the previous level's tables stay live as the
+        # subtraction parents (sibling = parent - built child, see
+        # _find_splits) while the current level's are built; bins scale
+        # with the full-scale dimensionality
+        mem.alloc(
+            "level_histograms",
+            total_bins * device.seg_scale * 4 * 16,
+        )
+        # per-attribute present counts for missing-mass bookkeeping
+        col_lens = np.diff(cols.col_offsets)
+        return spec, ent_inst, ent_gbin, ent_attr, bin_offset, col_lens
+
+    def _accumulate_entries(
+        self, gq, hq, ent_inst, ent_gbin, inst2x, n_rows, total_bins
+    ):
+        """(node, global bin) tables from this trainer's entry stream.
+
+        One scatter-add pass over the in-memory entry arrays; the streaming
+        trainer overrides this to accumulate block by block (int64 sums are
+        partition-order-independent, so the tables -- and therefore the
+        trees -- are byte-identical for any blocking).
+        """
+        hist_gq, hist_hq, hist_c, n_live = accumulate_histograms(
+            gq, hq, ent_inst, ent_gbin, inst2x, n_rows, total_bins
+        )
+        self.device.launch(
+            "accumulate_histograms",
+            elements=n_live,
+            flops_per_element=3.0,
+            coalesced_bytes=n_live * 12,
+            irregular_bytes=n_live * 24,  # atomic adds into node tables
+        )
+        return hist_gq, hist_hq, hist_c
+
+    def _route_by_entries(
+        self, ent_inst, ent_gbin, ent_attr, inst2local, attr_of_node,
+        cut_of_node, bin_offset, side_inst, n,
+    ):
+        """Decide sides for present instances from the entry stream.
+
+        Entries of each splitting node's chosen attribute overwrite the
+        missing-value default in ``side_inst`` (0 = left, 1 = right).  Each
+        instance owns at most one entry per attribute, so the writes are
+        disjoint and any chunking of the stream routes identically -- the
+        streaming trainer overrides this with a per-block loop.
+        """
+        ent_node = np.where(ent_inst >= 0, inst2local[ent_inst], -1)
+        ent_node_safe = np.maximum(ent_node, 0)
+        sel = (ent_node >= 0) & (ent_attr == attr_of_node[ent_node_safe])
+        local_bin = ent_gbin[sel] - bin_offset[ent_attr[sel]]
+        goes_left = local_bin < cut_of_node[ent_node[sel]]
+        side_inst[ent_inst[sel]] = np.where(goes_left, 0, 1)
+        self.device.launch(
+            "route_instances_by_bin",
+            elements=n * self.row_scale,
+            flops_per_element=2.0,
+            coalesced_bytes=n * self.row_scale * 9,
+            scale=False,
+        )
 
     def _base_score(self, y: np.ndarray) -> float:
         """Model base score (global mean/odds of the full training set)."""

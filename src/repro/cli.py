@@ -13,6 +13,7 @@ Usage::
     python -m repro obs history       # trend report over the run store
     python -m repro pipeline demo     # continual-training loop on a stream
     python -m repro dist demo         # row-sharded data-parallel training
+    python -m repro stream demo       # out-of-core training past device memory
     python -m repro runs submit       # record a BENCH_*.json into the store
     python -m repro runs diff -2 -1   # per-metric deltas between two runs
     python -m repro runs gate         # rolling-baseline perf regression gate
@@ -185,6 +186,63 @@ def _dist_main(argv: list[str]) -> int:
     )
     print(result.text)
     return 0 if result.matches_single else 1
+
+
+def _stream_main(argv: list[str]) -> int:
+    """``gpu-gbdt stream demo``: out-of-core training on a dataset ~10x the
+    modeled device memory (prints STREAM_DIGEST / INMEM_DIGEST for CI)."""
+    parser = argparse.ArgumentParser(
+        prog="gpu-gbdt stream",
+        description="Out-of-core training: spillable RLE column blocks, "
+        "prefetch pipeline, byte-identical models under a host-cache budget.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    demo = sub.add_parser(
+        "demo",
+        help="train past the device-memory wall; verify byte-identity",
+    )
+    demo.add_argument(
+        "--quick", action="store_true", help="smoke-scale rows and tree count"
+    )
+    demo.add_argument(
+        "--trees", type=int, default=None, help="boosting rounds (default 6, quick 3)"
+    )
+    demo.add_argument(
+        "--block-rows",
+        type=int,
+        default=None,
+        help="rows per column block (default: rows/24)",
+    )
+    demo.add_argument(
+        "--budget",
+        type=int,
+        metavar="BYTES",
+        default=None,
+        help="host block-cache budget in bytes (default 64 KiB, quick 16 KiB)",
+    )
+    demo.add_argument(
+        "--depth", type=int, default=2, help="prefetch queue depth (default 2)"
+    )
+    demo.add_argument(
+        "--spill-dir",
+        metavar="DIR",
+        default=None,
+        help="block spill directory (a fresh temp dir when omitted)",
+    )
+    args = parser.parse_args(argv)
+
+    from .stream.demo import run_stream_demo
+
+    result = run_stream_demo(
+        quick=args.quick,
+        trees=args.trees,
+        block_rows=args.block_rows,
+        budget_bytes=args.budget,
+        depth=args.depth,
+        spill_dir=args.spill_dir,
+    )
+    print(result.text)
+    return 0 if result.matches_inmem else 1
 
 
 def _serve_main(argv: list[str]) -> int:
@@ -456,6 +514,8 @@ def main(argv: list[str] | None = None) -> int:
         return _runs_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "stream":
+        return _stream_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="gpu-gbdt",
         description="Regenerate the tables and figures of 'Efficient Gradient "

@@ -22,6 +22,13 @@ The trees are identical to in-memory training (asserted by tests) -- the
 algorithm is still exact; only the PCIe traffic grows.  The modeled-time
 overhead quantifies what the paper's "reduce data transferring between
 CPUs and GPUs" advice is worth.
+
+.. note::
+   This column-group streamer keeps every group resident in host memory;
+   it moves the *device*-memory wall but not the host one, and re-uploads
+   whole groups every level.  For true out-of-core training -- disk-backed
+   blocks under a hard host-cache budget, with prefetch overlap -- prefer
+   :mod:`repro.stream` (:class:`repro.stream.StreamingHistTrainer`).
 """
 
 from __future__ import annotations
@@ -220,7 +227,12 @@ class OutOfCoreGBDTTrainer:
             for shard in shards:
                 with device.phase("find_split"):
                     device.transfer("stream_group_in", self._group_bytes(shard))
-                    _comm("outofcore", "stream_group_in", self._group_bytes(shard))
+                    # the transfer above is work_scale-extrapolated; the
+                    # counter must report the same full-scale bytes
+                    _comm(
+                        "outofcore", "stream_group_in",
+                        self._group_bytes(shard) * device.work_scale,
+                    )
                     if self.used_rle:
                         b = find_best_splits_rle(
                             device, shard.rle, shard.inst, shard.layout,
@@ -341,7 +353,10 @@ class OutOfCoreGBDTTrainer:
                 )
                 with device.phase("split_node"):
                     device.transfer("stream_group_in", self._group_bytes(shard))
-                    _comm("outofcore", "stream_group_in", self._group_bytes(shard))
+                    _comm(
+                        "outofcore", "stream_group_in",
+                        self._group_bytes(shard) * device.work_scale,
+                    )
                     dest, new_offsets = partition_segments(
                         device, shard.layout.offsets, side_ent,
                         left_seg, right_seg, 2 * kk * d_dev, plan,
@@ -370,7 +385,10 @@ class OutOfCoreGBDTTrainer:
                     device.transfer(
                         "stream_group_out", self._group_bytes(shard), direction="d2h"
                     )
-                    _comm("outofcore", "stream_group_out", self._group_bytes(shard))
+                    _comm(
+                        "outofcore", "stream_group_out",
+                        self._group_bytes(shard) * device.work_scale,
+                    )
 
             lg = np.array([bests[win_grp[loc]].left_g[loc] for loc in split_locals])
             lh = np.array([bests[win_grp[loc]].left_h[loc] for loc in split_locals])

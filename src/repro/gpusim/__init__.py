@@ -8,12 +8,15 @@ resource demands are charged to an analytic Titan-X-class cost model.
 from .device import (
     A100_80GB,
     GIB,
+    NVME_SSD,
+    SATA_SSD,
     TESLA_K20,
     TESLA_P100,
     TITAN_X_PASCAL,
     XEON_E5_2640V4_X2,
     CpuSpec,
     DeviceSpec,
+    DiskSpec,
 )
 from .kernel import CostLedger, GpuDevice, KernelLaunch, Transfer, Work
 from .memory import Allocation, DeviceOutOfMemory, GlobalMemory
@@ -24,12 +27,15 @@ from .trace import chrome_trace_events, export_chrome_trace
 __all__ = [
     "A100_80GB",
     "GIB",
+    "NVME_SSD",
+    "SATA_SSD",
     "TESLA_K20",
     "TESLA_P100",
     "TITAN_X_PASCAL",
     "XEON_E5_2640V4_X2",
     "CpuSpec",
     "DeviceSpec",
+    "DiskSpec",
     "CostLedger",
     "GpuDevice",
     "KernelLaunch",

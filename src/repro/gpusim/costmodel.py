@@ -24,7 +24,7 @@ per-kernel work.
 
 from __future__ import annotations
 
-from .device import DeviceSpec
+from .device import DeviceSpec, DiskSpec, NVME_SSD
 from .kernel import CostLedger, KernelLaunch, Transfer
 from .scheduler import occupancy
 
@@ -62,23 +62,34 @@ def kernel_time(spec: DeviceSpec, k: KernelLaunch) -> float:
     return overhead_s + body_s
 
 
-def transfer_time(spec: DeviceSpec, t: Transfer) -> float:
-    """Modeled seconds for one PCIe transfer."""
+def transfer_time(spec: DeviceSpec, t: Transfer, disk: DiskSpec = NVME_SSD) -> float:
+    """Modeled seconds for one transfer (PCIe copy or disk IO).
+
+    ``channel == "disk"`` transfers are charged against ``disk`` (latency +
+    bytes over the direction's bandwidth); everything else is a PCIe
+    transaction at the link bandwidth plus the fixed setup latency.
+    """
+    if t.channel == "disk":
+        if t.direction == "read":
+            return disk.read_seconds(t.nbytes)
+        return disk.write_seconds(t.nbytes)
     return PCIE_LATENCY_S + t.nbytes / (spec.pcie_bandwidth_gbs * 1e9)
 
 
-def total_time(spec: DeviceSpec, ledger: CostLedger) -> float:
+def total_time(spec: DeviceSpec, ledger: CostLedger, disk: DiskSpec = NVME_SSD) -> float:
     """Modeled wall time for everything in the ledger (no overlap assumed)."""
     s = sum(kernel_time(spec, k) for k in ledger.kernels)
-    s += sum(transfer_time(spec, t) for t in ledger.transfers)
+    s += sum(transfer_time(spec, t, disk) for t in ledger.transfers)
     return s
 
 
-def phase_times(spec: DeviceSpec, ledger: CostLedger) -> dict[str, float]:
+def phase_times(
+    spec: DeviceSpec, ledger: CostLedger, disk: DiskSpec = NVME_SSD
+) -> dict[str, float]:
     """Modeled seconds per phase label, in first-appearance order."""
     out: dict[str, float] = {}
     for k in ledger.kernels:
         out[k.phase] = out.get(k.phase, 0.0) + kernel_time(spec, k)
     for t in ledger.transfers:
-        out[t.phase] = out.get(t.phase, 0.0) + transfer_time(spec, t)
+        out[t.phase] = out.get(t.phase, 0.0) + transfer_time(spec, t, disk)
     return out

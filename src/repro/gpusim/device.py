@@ -19,7 +19,10 @@ import dataclasses
 __all__ = [
     "DeviceSpec",
     "CpuSpec",
+    "DiskSpec",
     "A100_80GB",
+    "NVME_SSD",
+    "SATA_SSD",
     "TITAN_X_PASCAL",
     "TESLA_P100",
     "TESLA_K20",
@@ -154,6 +157,65 @@ class CpuSpec:
             f"{self.clock_ghz:.1f} GHz, {self.mem_bandwidth_gbs:.0f} GB/s, "
             f"${self.price_usd:.0f}"
         )
+
+
+@dataclasses.dataclass(frozen=True)
+class DiskSpec:
+    """Static description of the host's secondary storage.
+
+    Out-of-core training (:mod:`repro.stream`) spills compressed column
+    blocks to disk and streams them back, so disk IO joins PCIe as a
+    first-class transfer class in the cost ledger: a block read of ``B``
+    bytes is modeled as ``latency_s + B / (read_bandwidth_gbs * 1e9)``
+    (writes use the write bandwidth).  Like PCIe -- "one order of magnitude
+    slower than accessing the GPU global memory" -- disk is another order
+    down again, which is exactly why the prefetch pipeline that overlaps
+    block IO with compute matters (Ou, arXiv:2005.09148).
+    """
+
+    name: str
+    read_bandwidth_gbs: float
+    write_bandwidth_gbs: float
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.read_bandwidth_gbs <= 0 or self.write_bandwidth_gbs <= 0:
+            raise ValueError("disk bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("disk latency must be non-negative")
+
+    def read_seconds(self, nbytes: float) -> float:
+        """Modeled seconds to read ``nbytes`` in one request."""
+        return self.latency_s + nbytes / (self.read_bandwidth_gbs * 1e9)
+
+    def write_seconds(self, nbytes: float) -> float:
+        """Modeled seconds to write ``nbytes`` in one request."""
+        return self.latency_s + nbytes / (self.write_bandwidth_gbs * 1e9)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.name}: {self.read_bandwidth_gbs:.1f}/"
+            f"{self.write_bandwidth_gbs:.1f} GB/s r/w, "
+            f"{self.latency_s * 1e6:.0f} us latency"
+        )
+
+
+#: A PCIe 3.0 x4 NVMe SSD of the paper's era -- the default spill target.
+NVME_SSD = DiskSpec(
+    name="NVMe SSD (PCIe 3.0 x4)",
+    read_bandwidth_gbs=3.0,
+    write_bandwidth_gbs=1.8,
+    latency_s=90e-6,
+)
+
+#: A SATA SSD: the pessimistic spill target for sensitivity studies.
+SATA_SSD = DiskSpec(
+    name="SATA SSD",
+    read_bandwidth_gbs=0.52,
+    write_bandwidth_gbs=0.48,
+    latency_s=150e-6,
+)
 
 
 #: The paper's main GPU: NVIDIA Titan X (Pascal), 28 SMs x 128 cores,

@@ -26,7 +26,7 @@ import contextlib
 import dataclasses
 from typing import Iterator, List
 
-from .device import DeviceSpec, TITAN_X_PASCAL
+from .device import DeviceSpec, DiskSpec, NVME_SSD, TITAN_X_PASCAL
 from .memory import GlobalMemory
 
 __all__ = ["Work", "KernelLaunch", "Transfer", "CostLedger", "GpuDevice"]
@@ -87,16 +87,30 @@ class KernelLaunch:
 
 @dataclasses.dataclass(frozen=True)
 class Transfer:
-    """One PCIe transfer between host and device."""
+    """One recorded data movement.
+
+    ``channel`` selects the link the bytes move over: ``"pcie"`` is the
+    classic host<->device copy (directions ``h2d`` / ``d2h``); ``"disk"``
+    is secondary-storage IO recorded by the out-of-core block store
+    (directions ``read`` / ``write``), costed against a
+    :class:`~repro.gpusim.device.DiskSpec` instead of the PCIe link.
+    """
 
     name: str
     nbytes: float
-    direction: str  # "h2d" | "d2h"
+    direction: str  # pcie: "h2d" | "d2h"; disk: "read" | "write"
     phase: str
+    channel: str = "pcie"
+
+    _DIRECTIONS = {"pcie": ("h2d", "d2h"), "disk": ("read", "write")}
 
     def __post_init__(self) -> None:
-        if self.direction not in ("h2d", "d2h"):
-            raise ValueError(f"bad transfer direction {self.direction!r}")
+        if self.channel not in self._DIRECTIONS:
+            raise ValueError(f"bad transfer channel {self.channel!r}")
+        if self.direction not in self._DIRECTIONS[self.channel]:
+            raise ValueError(
+                f"bad {self.channel} transfer direction {self.direction!r}"
+            )
         if self.nbytes < 0:
             raise ValueError("transfer size must be non-negative")
 
@@ -130,6 +144,11 @@ class CostLedger:
     def transfer_bytes(self) -> float:
         return sum(t.nbytes for t in self.transfers)
 
+    @property
+    def disk_bytes(self) -> float:
+        """Total bytes moved over the disk channel."""
+        return sum(t.nbytes for t in self.transfers if t.channel == "disk")
+
     def phases(self) -> List[str]:
         """Distinct phase labels in first-appearance order."""
         seen: dict[str, None] = {}
@@ -159,10 +178,12 @@ class GpuDevice:
         *,
         work_scale: float = 1.0,
         seg_scale: float = 1.0,
+        disk: DiskSpec = NVME_SSD,
     ) -> None:
         if work_scale <= 0 or seg_scale <= 0:
             raise ValueError("scales must be positive")
         self.spec = spec
+        self.disk = disk
         self.memory = GlobalMemory(spec.global_mem_bytes)
         self.ledger = CostLedger()
         self.work_scale = float(work_scale)
@@ -242,12 +263,37 @@ class GpuDevice:
         self.ledger.transfers.append(t)
         return t
 
+    def disk_transfer(
+        self,
+        name: str,
+        nbytes: float,
+        direction: str = "read",
+        *,
+        scale: bool = True,
+        phase: str | None = None,
+    ) -> Transfer:
+        """Record disk IO (block spill/fetch), costed against :attr:`disk`.
+
+        ``phase`` overrides the phase-stack label: the prefetch pipeline
+        issues these from a background thread, which must not read the main
+        thread's phase stack mid-mutation.
+        """
+        t = Transfer(
+            name=name,
+            nbytes=nbytes * (self.work_scale if scale else 1.0),
+            direction=direction,
+            phase=phase if phase is not None else self.current_phase,
+            channel="disk",
+        )
+        self.ledger.transfers.append(t)
+        return t
+
     # ---------------------------------------------------------------- timing
     def elapsed_seconds(self) -> float:
         """Modeled wall time of everything recorded so far."""
         from .costmodel import total_time
 
-        return total_time(self.spec, self.ledger)
+        return total_time(self.spec, self.ledger, self.disk)
 
     def reset(self) -> None:
         """Clear ledger and free all device memory (new experiment)."""

@@ -1,11 +1,13 @@
-"""Crash-safe file I/O shared by model persistence and the checkpoint store.
+"""Crash-safe file I/O shared by model persistence, checkpoints, and blocks.
 
 A file that readers may load at any time must never be observable in a
 half-written state.  :func:`atomic_write_text` follows the standard recipe:
 write to a temporary file *in the destination directory* (so the rename
 stays on one filesystem), flush + fsync the data, atomically rename over
 the destination, then fsync the directory so the rename itself survives a
-power loss.
+power loss.  :func:`atomic_write_bytes` is the binary twin used by the
+out-of-core block store (:mod:`repro.stream.blockstore`), whose spilled
+column blocks are far cheaper to ship as raw array bytes than as text.
 
 Fault injection
 ---------------
@@ -25,7 +27,12 @@ import tempfile
 from pathlib import Path
 from typing import Callable, Optional
 
-__all__ = ["SimulatedCrash", "atomic_write_text", "fsync_dir"]
+__all__ = [
+    "SimulatedCrash",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_dir",
+]
 
 
 class SimulatedCrash(BaseException):
@@ -50,25 +57,22 @@ def fsync_dir(path: Path) -> None:
         os.close(fd)
 
 
-def atomic_write_text(
-    path: Path | str,
-    text: str,
-    *,
-    encoding: str = "utf-8",
-    fault_hook: Optional[Callable[[str], None]] = None,
+def _atomic_write(
+    path: Path,
+    data: bytes | str,
+    mode: str,
+    encoding: Optional[str],
+    hook: Callable[[str], None],
 ) -> Path:
-    """Write ``text`` to ``path`` so readers see the old or the new content,
-    never a mixture; returns the destination path."""
-    path = Path(path)
-    hook = fault_hook if fault_hook is not None else (lambda step: None)
+    """The shared tmp-write + fsync + rename recipe (see module docstring)."""
     fd, tmp_name = tempfile.mkstemp(
         prefix=path.name + ".", suffix=".tmp", dir=path.parent
     )
     tmp = Path(tmp_name)
     try:
         hook("begin")
-        with os.fdopen(fd, "w", encoding=encoding) as fh:
-            fh.write(text)
+        with os.fdopen(fd, mode, encoding=encoding) as fh:
+            fh.write(data)
             hook("written")
             fh.flush()
             os.fsync(fh.fileno())
@@ -85,3 +89,28 @@ def atomic_write_text(
             pass
         raise
     return path
+
+
+def atomic_write_text(
+    path: Path | str,
+    text: str,
+    *,
+    encoding: str = "utf-8",
+    fault_hook: Optional[Callable[[str], None]] = None,
+) -> Path:
+    """Write ``text`` to ``path`` so readers see the old or the new content,
+    never a mixture; returns the destination path."""
+    hook = fault_hook if fault_hook is not None else (lambda step: None)
+    return _atomic_write(Path(path), text, "w", encoding, hook)
+
+
+def atomic_write_bytes(
+    path: Path | str,
+    data: bytes,
+    *,
+    fault_hook: Optional[Callable[[str], None]] = None,
+) -> Path:
+    """Binary :func:`atomic_write_text`: same crash-safety guarantees, same
+    fault-injection steps, raw bytes instead of encoded text."""
+    hook = fault_hook if fault_hook is not None else (lambda step: None)
+    return _atomic_write(Path(path), data, "wb", None, hook)

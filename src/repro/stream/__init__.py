@@ -1,0 +1,37 @@
+"""Streaming out-of-core training: spillable blocks + prefetch pipeline.
+
+The paper's answer to the Titan X's 12 GB is RLE compression (Section
+III-C); when even the compressed lists do not fit, training simply cannot
+run.  This package removes that wall the way Out-of-Core GPU Gradient
+Boosting (Ou, arXiv:2005.09148) does: the quantized entry stream of the
+histogram trainer is cut into **row-range column blocks**, RLE-compressed,
+spilled to disk under a hard host-cache byte budget
+(:mod:`repro.stream.blockstore`), and streamed back through a background
+prefetch pipeline that overlaps block IO with compute
+(:mod:`repro.stream.prefetch`).  Disk IO is charged to the gpusim ledger as
+a first-class transfer class (:class:`repro.gpusim.DiskSpec`), so the obs
+phase report shows modeled io-vs-compute overlap honestly -- the same
+discipline XGBoost's GPU scaling study applies to PCIe (arXiv:1806.11248).
+
+The streaming trainer (:mod:`repro.stream.trainer`) drives the in-memory
+:class:`~repro.approx.histogram_trainer.HistogramGBDTTrainer` grow loop
+through its entry-source hooks; because histogram statistics accumulate in
+order-independent fixed-point int64 and instance routing writes are
+disjoint per instance, the models are **byte-identical** to in-memory
+training for any block size and cache budget, with RLE and GOSS composing
+freely (pinned by the differential tests).
+"""
+
+from .blockstore import BLOCK_MAGIC, BlockStore, ColumnBlock, TornBlockError
+from .prefetch import PrefetchPipeline, modeled_overlap
+from .trainer import StreamingHistTrainer
+
+__all__ = [
+    "BLOCK_MAGIC",
+    "BlockStore",
+    "ColumnBlock",
+    "PrefetchPipeline",
+    "StreamingHistTrainer",
+    "TornBlockError",
+    "modeled_overlap",
+]

@@ -123,15 +123,16 @@ class TestMultiGpuAccounting:
 
 
 class TestOutOfCoreAccounting:
-    def _train(self):
+    def _train(self, work_scale=1.0):
         registry = MetricsRegistry(max_label_sets=1024)
         tracer = Tracer(enabled=True)
         with use_registry(registry), use_tracer(tracer):
             ds = make_dataset("covtype", run_rows=400, seed=3)
-            per_col = int(np.diff(ds.X.to_csc().indptr).max()) * 8
+            per_col = int(np.diff(ds.X.to_csc().indptr).max()) * 8 * work_scale
             trainer = OutOfCoreGBDTTrainer(
                 GBDTParams(n_trees=3, max_depth=4, seed=7),
-                group_budget_bytes=per_col * 3 + 64,
+                group_budget_bytes=int(per_col * 3) + 64,
+                work_scale=work_scale,
             )
             model = trainer.fit(ds.X, ds.y)
         return ds, trainer, model, registry, tracer
@@ -139,6 +140,17 @@ class TestOutOfCoreAccounting:
     def test_counters_match_ledger(self):
         ds, trainer, model, registry, _ = self._train()
         assert trainer.n_groups_ > 1  # actually streaming
+        for op in ("stream_group_in", "stream_group_out", "download_group_winners"):
+            counted = _counter_value(registry, "outofcore", op)
+            ledgered = _ledger_bytes([trainer.device], op)
+            assert counted == ledgered > 0, (op, counted, ledgered)
+
+    def test_counters_match_ledger_at_scale(self):
+        # stream_group_{in,out} transfers are work_scale-extrapolated in
+        # the ledger; the counters must say the same full-scale bytes
+        # (download_group_winners is scale=False on both books)
+        ds, trainer, model, registry, _ = self._train(work_scale=3.5)
+        assert trainer.n_groups_ > 1
         for op in ("stream_group_in", "stream_group_out", "download_group_winners"):
             counted = _counter_value(registry, "outofcore", op)
             ledgered = _ledger_bytes([trainer.device], op)

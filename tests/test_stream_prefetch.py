@@ -1,0 +1,115 @@
+"""Prefetch pipeline: ordering, pinning discipline, error propagation.
+
+The pipeline is the only threaded component of the streaming trainer, so
+these tests pin the properties the trainer's determinism and the store's
+budget rest on: blocks arrive in exactly the requested order regardless of
+thread timing, every pin taken by the worker is released (even when the
+consumer abandons the loop or the worker dies), and a worker-side failure
+surfaces as an exception in the consumer instead of a hang.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry, use_registry
+from repro.stream.blockstore import BlockStore, ColumnBlock
+from repro.stream.prefetch import PrefetchPipeline, modeled_overlap
+
+
+def _block(block_id, n=40):
+    rng = np.random.default_rng(block_id)
+    gbin = np.sort(rng.integers(0, 8, n)).astype(np.int64)
+    inst = np.arange(n, dtype=np.int64)
+    order = np.lexsort((inst, gbin))
+    return ColumnBlock.build(block_id, 0, n, inst[order], gbin[order])
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = BlockStore(tmp_path, 1 << 20)
+    for i in range(6):
+        s.put(_block(i))
+    return s
+
+
+def test_blocks_arrive_in_requested_order(store):
+    ids = [4, 0, 2, 5, 1, 3]
+    seen = [b.block_id for b in PrefetchPipeline(store, ids, depth=3)]
+    assert seen == ids
+
+
+def test_repeated_iteration_same_order(store):
+    pipe = PrefetchPipeline(store, [0, 1, 2], depth=2)
+    assert [b.block_id for b in pipe] == [0, 1, 2]
+    assert [b.block_id for b in pipe] == [0, 1, 2]
+
+
+def test_all_pins_released_after_full_run(store):
+    for _ in PrefetchPipeline(store, range(6), depth=2):
+        pass
+    assert store._pins == {}
+
+
+def test_early_abandonment_releases_pins(store):
+    for b in PrefetchPipeline(store, range(6), depth=2):
+        if b.block_id == 1:
+            break
+    assert store._pins == {}
+
+
+def test_metrics_recorded(store):
+    reg = MetricsRegistry(max_label_sets=64)
+    with use_registry(reg):
+        list(PrefetchPipeline(store, range(6), depth=4))
+    hits = reg.get("prefetch_hits_total")
+    waits = reg.get("io_wait_seconds_total")
+    assert hits is not None and waits is not None
+    assert hits.value + 1 >= 0  # counters exist; split depends on timing
+    assert waits.value >= 0.0
+
+
+def test_worker_error_propagates_to_consumer(store):
+    with pytest.raises(KeyError):
+        # 99 is unknown: the worker thread's failure must surface here,
+        # not hang the consumer forever
+        list(PrefetchPipeline(store, [0, 1, 99, 2], depth=2))
+    assert store._pins == {}
+
+
+def test_over_budget_pin_set_raises_in_consumer(tmp_path):
+    import time
+
+    blocks = [_block(i, n=200) for i in range(8)]
+    store = BlockStore(tmp_path, blocks[0].nbytes * 2 + 8)
+    for b in blocks:
+        store.put(b)
+    with pytest.raises(RuntimeError, match="pinned working set"):
+        # a slow consumer lets the depth-4 worker pin more blocks than the
+        # budget holds; the worker-side error must surface here, not hang
+        for _ in PrefetchPipeline(store, range(8), depth=4):
+            time.sleep(0.3)
+    assert store._pins == {}
+
+
+def test_depth_validation(store):
+    with pytest.raises(ValueError):
+        PrefetchPipeline(store, [0], depth=0)
+
+
+def test_modeled_overlap_splits_io_from_compute():
+    from repro.gpusim.kernel import GpuDevice
+
+    device = GpuDevice()
+    with device.phase("find_split"):
+        device.launch("k", elements=1e9, flops_per_element=10.0)
+    device.disk_transfer("fetch_block", 1e9, "read", phase="stream_io")
+    times = modeled_overlap(device)
+    assert times["modeled_io_s"] > 0
+    assert times["modeled_compute_s"] > 0
+    assert times["modeled_serial_s"] == pytest.approx(
+        times["modeled_io_s"] + times["modeled_compute_s"]
+    )
+    assert times["modeled_overlap_s"] == pytest.approx(
+        max(times["modeled_io_s"], times["modeled_compute_s"])
+    )
+    assert times["overlap_speedup"] >= 1.0
